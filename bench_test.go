@@ -1,0 +1,370 @@
+package mithril
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (run with `go test -bench=. -benchmem`), plus ablation benches
+// for the design choices DESIGN.md calls out. Simulation-backed benches run
+// at QuickScale and report the headline metrics via b.ReportMetric, so a
+// single -benchtime=1x pass regenerates every result.
+
+import (
+	"testing"
+
+	"mithril/internal/analysis"
+	"mithril/internal/core"
+	"mithril/internal/mitigation"
+	"mithril/internal/streaming"
+	"mithril/internal/timing"
+)
+
+func benchScale() Scale {
+	sc := QuickScale()
+	sc.InstrPerCore = 10_000
+	return sc
+}
+
+// BenchmarkFigure2 regenerates the ARR-vs-RFM Graphene incompatibility
+// curves (analytic).
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := Figure2Data()
+		if i == b.N-1 {
+			b.ReportMetric(pts[3].ARR, "ARR_safe_flipTH_at_2K")
+			b.ReportMetric(pts[3].RFM[64], "RFM64_safe_flipTH_at_2K")
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates the configuration curves (analytic).
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := Figure6Data()
+		if i == b.N-1 {
+			for _, s := range series {
+				if s.FlipTH == 6250 {
+					for _, c := range s.CbS {
+						if c.RFMTH == 128 {
+							b.ReportMetric(float64(c.NEntry), "Nentry_6.25K_rfm128")
+							b.ReportMetric(c.TableKB, "KB_6.25K_rfm128")
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFigure7 runs the adaptive-refresh AdTH sweep (simulation).
+func BenchmarkFigure7(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		pts, err := Figure7Data(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(pts[0].EnergyOverheadPct["multi-programmed"], "energy%_AdTH0")
+			b.ReportMetric(pts[4].EnergyOverheadPct["multi-programmed"], "energy%_AdTH200")
+			b.ReportMetric(pts[4].AdditionalNEntryPct, "extra_Nentry%_AdTH200")
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates the large-object-sweep characterization.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := Figure8()
+		if i == b.N-1 {
+			b.ReportMetric(float64(d.SmallDistinct), "rows_small_window")
+			b.ReportMetric(float64(d.LargeDistinct), "rows_large_window")
+			b.ReportMetric(float64(d.SmallMaxRow), "max_accesses_per_row")
+		}
+	}
+}
+
+// BenchmarkFigure9 compares Mithril and Mithril+ across the (FlipTH, RFMTH)
+// grid (simulation).
+func BenchmarkFigure9(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		pts, err := Figure9Data(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 && len(pts) > 0 {
+			last := pts[len(pts)-1] // lowest FlipTH point
+			b.ReportMetric(last.Mithril, "mithril_perf%")
+			b.ReportMetric(last.MithrilPlus, "mithril+_perf%")
+			b.ReportMetric(last.TableKB, "tableKB")
+		}
+	}
+}
+
+// BenchmarkFigure10Perf runs the RFM-compatible comparison (simulation):
+// normal, multi-sided RH, and BlockHammer-adversarial workloads.
+func BenchmarkFigure10Perf(b *testing.B) {
+	sc := benchScale()
+	sc.FlipTHs = []int{1500}
+	for i := 0; i < b.N; i++ {
+		pts, err := Figure10Data(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, p := range pts {
+				switch {
+				case p.Scheme == "mithril" && p.Workload == "normal":
+					b.ReportMetric(p.RelativePerformance, "mithril_normal%")
+				case p.Scheme == "mithril+" && p.Workload == "normal":
+					b.ReportMetric(p.RelativePerformance, "mithril+_normal%")
+				case p.Scheme == "blockhammer" && p.Workload == "bh-adversarial/blockhammer":
+					b.ReportMetric(p.RelativePerformance, "blockhammer_adversarial%")
+				}
+				if !p.Safe {
+					b.Fatalf("unsafe point: %v", p)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFigure10Energy reports the dynamic-energy comparison on normal
+// workloads (Figure 10(d)).
+func BenchmarkFigure10Energy(b *testing.B) {
+	sc := benchScale()
+	sc.FlipTHs = []int{1500}
+	for i := 0; i < b.N; i++ {
+		pts, err := Figure10Data(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, p := range pts {
+				if p.Workload == "normal" {
+					b.ReportMetric(p.EnergyOverheadPct, p.Scheme+"_energy%")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFigure10Area reports the BlockHammer-vs-Mithril table sizes
+// (Figure 10(e), analytic).
+func BenchmarkFigure10Area(b *testing.B) {
+	p := timing.DDR5()
+	for i := 0; i < b.N; i++ {
+		for _, f := range analysis.StandardFlipTHs {
+			bh := analysis.BlockHammerTableKB(f)
+			mt, ok := analysis.MithrilTableKB(p, f, mitigation.PaperRFMTH(f), 0)
+			if i == b.N-1 && ok && f == 1500 {
+				b.ReportMetric(bh, "blockhammer_KB_1.5K")
+				b.ReportMetric(mt, "mithril_KB_1.5K")
+				b.ReportMetric(bh/mt, "ratio_1.5K")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure11 runs the RFM-non-compatible baseline comparison.
+func BenchmarkFigure11(b *testing.B) {
+	sc := benchScale()
+	sc.FlipTHs = []int{6250}
+	for i := 0; i < b.N; i++ {
+		pts, err := Figure11Data(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, p := range pts {
+				if p.Workload == "normal" {
+					b.ReportMetric(p.RelativePerformance, p.Scheme+"_normal%")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates the per-bank area table (analytic).
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		computed, _ := Table4Data()
+		if i == b.N-1 {
+			for _, row := range computed {
+				if row.Scheme == "Mithril-32 @ DRAM" {
+					b.ReportMetric(row.KB[1500], "mithril32_KB_1.5K")
+				}
+				if row.Scheme == "BlockHammer @ MC" {
+					b.ReportMetric(row.KB[1500], "blockhammer_KB_1.5K")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSafetySweep runs the end-to-end attack verdict sweep (E11).
+func BenchmarkSafetySweep(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		results, err := SafetySweep(sc, 2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			unsafe := 0
+			for _, r := range results {
+				if r.Scheme != "none" && !r.Safe {
+					unsafe++
+				}
+			}
+			b.ReportMetric(float64(unsafe), "protected_schemes_flipped")
+		}
+	}
+}
+
+// BenchmarkPARFMFailureModel evaluates the Appendix C recurrence.
+func BenchmarkPARFMFailureModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, ok := PARFMRequiredRFMTH(3125)
+		if !ok {
+			b.Fatal("no feasible RFMTH")
+		}
+		if i == b.N-1 {
+			_, system := PARFMFailure(3125, r)
+			b.ReportMetric(float64(r), "required_RFMTH_3.125K")
+			b.ReportMetric(system*1e18, "system_failure_x1e18")
+		}
+	}
+}
+
+// ------------------------------------------------------------- Ablations
+
+// BenchmarkAblationGreedyVsReactive quantifies Section III-A: under the
+// RFM interface, greedy selection keeps the worst row's unrefreshed count
+// bounded while a reactive threshold scheme lets it run far higher.
+func BenchmarkAblationGreedyVsReactive(b *testing.B) {
+	const nEntry, rfmTH, streamLen = 64, 64, 200_000
+	for i := 0; i < b.N; i++ {
+		// Greedy (Mithril).
+		m := core.New(core.Config{NEntry: nEntry, RFMTH: rfmTH})
+		acts := map[uint32]uint64{}
+		var worstGreedy uint64
+		for j := 0; j < streamLen; j++ {
+			row := uint32(j % (nEntry + 1))
+			m.OnActivate(row)
+			acts[row]++
+			if acts[row] > worstGreedy {
+				worstGreedy = acts[row]
+			}
+			if j%rfmTH == rfmTH-1 {
+				if aggressor, _, ok := m.OnRFM(); ok {
+					acts[aggressor] = 0
+				}
+			}
+		}
+		// Reactive: refresh only rows whose estimate crosses a threshold,
+		// executed at the next RFM slot (one per interval).
+		table := streaming.NewSpaceSaving(nEntry)
+		reactive := map[uint32]uint64{}
+		pendingQ := []uint32{}
+		var worstReactive uint64
+		const threshold = 2000
+		for j := 0; j < streamLen; j++ {
+			row := uint32(j % (nEntry + 1))
+			table.Observe(row)
+			reactive[row]++
+			if reactive[row] > worstReactive {
+				worstReactive = reactive[row]
+			}
+			if table.Estimate(row) >= threshold && len(pendingQ) < nEntry {
+				pendingQ = append(pendingQ, row)
+			}
+			if j%rfmTH == rfmTH-1 && len(pendingQ) > 0 {
+				r := pendingQ[0]
+				pendingQ = pendingQ[1:]
+				reactive[r] = 0
+			}
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(worstGreedy), "greedy_max_unrefreshed")
+			b.ReportMetric(float64(worstReactive), "reactive_max_unrefreshed")
+		}
+	}
+}
+
+// BenchmarkAblationScanTable measures the scan-based reference CbS.
+func BenchmarkAblationScanTable(b *testing.B) {
+	benchTable(b, true)
+}
+
+// BenchmarkAblationStreamSummary measures the O(1) Stream-Summary table.
+func BenchmarkAblationStreamSummary(b *testing.B) {
+	benchTable(b, false)
+}
+
+func benchTable(b *testing.B, scan bool) {
+	m := core.New(core.Config{NEntry: 512, RFMTH: 64, UseScanTable: scan})
+	r := streaming.NewRand(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.OnActivate(uint32(r.Intn(2048)))
+		if i%64 == 63 {
+			m.OnRFM()
+		}
+	}
+}
+
+// BenchmarkAblationWrapVsReset quantifies Section IV-E: the wrapping
+// counter removes Graphene's two-fold threshold degradation, halving the
+// required table for the same FlipTH.
+func BenchmarkAblationWrapVsReset(b *testing.B) {
+	p := timing.DDR5()
+	for i := 0; i < b.N; i++ {
+		// Mithril sizing (no reset): M < FlipTH/2.
+		nWrap, ok1 := analysis.MinNEntry(p, 6250, 128, 0, analysis.DoubleSidedBlast)
+		// Reset-based sizing: the reset halves the usable threshold,
+		// equivalent to targeting FlipTH/2 with the same machinery.
+		nReset, ok2 := analysis.MinNEntry(p, 6250/2, 128, 0, analysis.DoubleSidedBlast)
+		if !ok1 || !ok2 {
+			b.Fatal("infeasible")
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(nWrap), "Nentry_wrapping")
+			b.ReportMetric(float64(nReset), "Nentry_with_reset")
+			b.ReportMetric(float64(nReset)/float64(nWrap), "reset_penalty_x")
+		}
+	}
+}
+
+// BenchmarkAblationBlastRadius compares double-sided sizing against the
+// non-adjacent (range-3) model of Section V-C.
+func BenchmarkAblationBlastRadius(b *testing.B) {
+	p := timing.DDR5()
+	for i := 0; i < b.N; i++ {
+		n2, ok1 := analysis.MinNEntry(p, 6250, 128, 0, analysis.DoubleSidedBlast)
+		n35, ok2 := analysis.MinNEntry(p, 6250, 128, 0, analysis.NonAdjacentBlast)
+		if !ok1 || !ok2 {
+			b.Fatal("infeasible")
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(n2), "Nentry_double_sided")
+			b.ReportMetric(float64(n35), "Nentry_nonadjacent")
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (ticks are
+// dominated by controller work), the practical limit on experiment scale.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		cfg := baseSimConfig(6250, sc)
+		cfg.Workload = MixHigh(4, 1).Fresh()
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.AggregateIPC, "aggregate_IPC")
+			b.ReportMetric(float64(res.Device.ACTs), "ACTs")
+		}
+	}
+}

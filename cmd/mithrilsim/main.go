@@ -1,0 +1,280 @@
+// Command mithrilsim regenerates every table and figure of the Mithril
+// paper's evaluation (HPCA 2022) from the reproduction library.
+//
+// Usage:
+//
+//	mithrilsim <command> [-full] [-flipth N]
+//
+// Commands:
+//
+//	figure2   ARR-Graphene vs RFM-Graphene incompatibility curves
+//	figure6   feasible (Nentry, RFMTH) configurations per FlipTH
+//	figure7   adaptive-refresh energy/area sweep over AdTH
+//	figure8   lbm-like large-object-sweep characterization
+//	figure9   Mithril vs Mithril+ performance/area grid
+//	figure10  RFM-compatible scheme comparison (perf/energy/area)
+//	figure11  RFM-non-compatible baseline comparison
+//	table4    per-bank counter table sizes vs the paper's Table IV
+//	safety    attack sweep: bit-flip verdicts per scheme
+//	parfm     Appendix C failure probabilities and required RFMTH
+//	all       everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+
+	"mithril"
+	"mithril/internal/stats"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run at the paper's full scale (16 cores, all FlipTH levels)")
+	flipTH := flag.Int("flipth", 2000, "FlipTH for the safety sweep")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mithrilsim <figure2|figure6|figure7|figure8|figure9|figure10|figure11|table4|safety|parfm|all> [-full]")
+		flag.PrintDefaults()
+	}
+	if len(os.Args) < 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	_ = flag.CommandLine.Parse(os.Args[2:])
+
+	sc := mithril.QuickScale()
+	if *full {
+		sc = mithril.FullScale()
+	}
+
+	run := map[string]func() error{
+		"figure2":  figure2,
+		"figure6":  figure6,
+		"figure7":  func() error { return figure7(sc) },
+		"figure8":  figure8,
+		"figure9":  func() error { return figure9(sc) },
+		"figure10": func() error { return figure10(sc) },
+		"figure11": func() error { return figure11(sc) },
+		"table4":   table4,
+		"safety":   func() error { return safety(sc, *flipTH) },
+		"parfm":    parfm,
+	}
+	if cmd == "all" {
+		for _, name := range []string{"figure2", "figure6", "figure8", "table4", "parfm", "figure7", "figure9", "figure10", "figure11", "safety"} {
+			if err := run[name](); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	fn, ok := run[cmd]
+	if !ok {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := fn(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n\n", title)
+}
+
+func figure2() error {
+	header("Figure 2 — safe FlipTH: ARR-Graphene vs RFM-Graphene")
+	pts := mithril.Figure2Data()
+	t := stats.NewTable("threshold", "ARR", "RFM-256", "RFM-128", "RFM-64", "RFM-32")
+	for _, p := range pts {
+		t.Add(strconv.Itoa(p.Threshold),
+			fmt.Sprintf("%.1fK", p.ARR/1000),
+			fmt.Sprintf("%.1fK", p.RFM[256]/1000),
+			fmt.Sprintf("%.1fK", p.RFM[128]/1000),
+			fmt.Sprintf("%.1fK", p.RFM[64]/1000),
+			fmt.Sprintf("%.1fK", p.RFM[32]/1000))
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func figure6() error {
+	header("Figure 6 — feasible (table size, RFMTH) per FlipTH (CbS vs Lossy Counting)")
+	t := stats.NewTable("FlipTH", "RFMTH", "Nentry(CbS)", "KB(CbS)", "Nentry(LC)", "KB(LC)")
+	for _, s := range mithril.Figure6Data() {
+		lossy := map[int]mithril.MithrilConfig{}
+		for _, l := range s.Lossy {
+			lossy[l.RFMTH] = l
+		}
+		for _, c := range s.CbS {
+			lcN, lcKB := "-", "-"
+			if l, ok := lossy[c.RFMTH]; ok {
+				lcN, lcKB = strconv.Itoa(l.NEntry), fmt.Sprintf("%.2f", l.TableKB)
+			}
+			t.Add(strconv.Itoa(s.FlipTH), strconv.Itoa(c.RFMTH),
+				strconv.Itoa(c.NEntry), fmt.Sprintf("%.2f", c.TableKB), lcN, lcKB)
+		}
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func figure7(sc mithril.Scale) error {
+	header("Figure 7 — adaptive refresh: energy overhead and extra Nentry vs AdTH")
+	pts, err := mithril.Figure7Data(sc)
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("FlipTH", "RFMTH", "AdTH", "energy% (multi-prog)", "energy% (multi-thread)", "+Nentry%")
+	for _, p := range pts {
+		t.Add(strconv.Itoa(p.FlipTH), strconv.Itoa(p.RFMTH), strconv.Itoa(p.AdTH),
+			fmt.Sprintf("%.2f", p.EnergyOverheadPct["multi-programmed"]),
+			fmt.Sprintf("%.2f", p.EnergyOverheadPct["multi-threaded"]),
+			fmt.Sprintf("%.1f", p.AdditionalNEntryPct))
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func figure8() error {
+	header("Figure 8 — large-object sweep (lbm-like) characterization")
+	d := mithril.Figure8()
+	fmt.Printf("large window (100K accesses): %d distinct rows\n", d.LargeDistinct)
+	fmt.Printf("small window (512 accesses):  %d distinct rows, max %d accesses to one row\n",
+		d.SmallDistinct, d.SmallMaxRow)
+	fmt.Printf("activations in small window:  %d (row locality filters %.1f%% of accesses)\n",
+		len(d.Activations), 100*(1-float64(len(d.Activations))/float64(len(d.SmallWindow))))
+	fmt.Println("\nsmall-window access pattern (access# -> bank-local row):")
+	for i, s := range d.SmallWindow {
+		if i%64 == 0 {
+			fmt.Printf("  %5d -> row %d (bank %d)\n", s.Index, s.Row, s.Bank)
+		}
+	}
+	return nil
+}
+
+func figure9(sc mithril.Scale) error {
+	header("Figure 9 — Mithril vs Mithril+ relative performance and area")
+	pts, err := mithril.Figure9Data(sc)
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("FlipTH", "RFMTH", "Mithril perf%", "Mithril+ perf%", "table KB")
+	for _, p := range pts {
+		t.Add(strconv.Itoa(p.FlipTH), strconv.Itoa(p.RFMTH),
+			fmt.Sprintf("%.2f", p.Mithril), fmt.Sprintf("%.2f", p.MithrilPlus),
+			fmt.Sprintf("%.2f", p.TableKB))
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func perfTable(points []mithril.PerfPoint) string {
+	t := stats.NewTable("scheme", "FlipTH", "workload", "perf%", "energy+%", "tableKB", "safe")
+	for _, p := range points {
+		t.Add(p.Scheme, strconv.Itoa(p.FlipTH), p.Workload,
+			fmt.Sprintf("%.2f", p.RelativePerformance),
+			fmt.Sprintf("%.2f", p.EnergyOverheadPct),
+			fmt.Sprintf("%.2f", p.TableKB),
+			fmt.Sprintf("%v", p.Safe))
+	}
+	return t.String()
+}
+
+func figure10(sc mithril.Scale) error {
+	header("Figure 10 — RFM-compatible schemes: PARFM, BlockHammer, Mithril, Mithril+")
+	pts, err := mithril.Figure10Data(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Print(perfTable(pts))
+	return nil
+}
+
+func figure11(sc mithril.Scale) error {
+	header("Figure 11 — vs RFM-non-compatible PARA, CBT, TWiCe, Graphene")
+	pts, err := mithril.Figure11Data(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Print(perfTable(pts))
+	return nil
+}
+
+func table4() error {
+	header("Table IV — per-bank counter table size (KB): computed vs paper")
+	computed, paper := mithril.Table4Data()
+	flipTHs := mithril.StandardFlipTHs()
+	headers := []string{"scheme"}
+	for _, f := range flipTHs {
+		headers = append(headers, fmt.Sprintf("%gK", float64(f)/1000))
+	}
+	t := stats.NewTable(headers...)
+	cell := func(v float64) string {
+		if math.IsNaN(v) {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f", v)
+	}
+	for i := range computed {
+		row := []string{computed[i].Scheme}
+		for _, f := range flipTHs {
+			row = append(row, cell(computed[i].KB[f]))
+		}
+		t.Add(row...)
+		ref := []string{"  (paper)"}
+		for _, f := range flipTHs {
+			ref = append(ref, cell(paper[i].KB[f]))
+		}
+		t.Add(ref...)
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func safety(sc mithril.Scale, flipTH int) error {
+	header(fmt.Sprintf("Safety sweep — full-simulator attacks at FlipTH=%d", flipTH))
+	results, err := mithril.SafetySweep(sc, flipTH)
+	if err != nil {
+		return err
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Attack != results[j].Attack {
+			return results[i].Attack < results[j].Attack
+		}
+		return results[i].Scheme < results[j].Scheme
+	})
+	t := stats.NewTable("attack", "scheme", "flips", "max disturbance", "verdict")
+	for _, r := range results {
+		verdict := "SAFE"
+		if !r.Safe {
+			verdict = "UNSAFE"
+		}
+		t.Add(r.Attack, r.Scheme, strconv.Itoa(r.Flips),
+			fmt.Sprintf("%.0f", r.MaxDisturbance), verdict)
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func parfm() error {
+	header("Appendix C — PARFM failure probability (target 1e-15, 22 banks)")
+	t := stats.NewTable("FlipTH", "required RFMTH", "bank failure", "system failure")
+	for _, f := range mithril.StandardFlipTHs() {
+		r, ok := mithril.PARFMRequiredRFMTH(f)
+		if !ok {
+			t.Add(strconv.Itoa(f), "-", "-", "-")
+			continue
+		}
+		bank, system := mithril.PARFMFailure(f, r)
+		t.Add(strconv.Itoa(f), strconv.Itoa(r),
+			fmt.Sprintf("%.2e", bank), fmt.Sprintf("%.2e", system))
+	}
+	fmt.Print(t)
+	return nil
+}

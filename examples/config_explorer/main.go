@@ -1,0 +1,48 @@
+// Config explorer: walk the Figure 6 trade-off between table size (Nentry)
+// and RFM frequency (RFMTH) for a set of RowHammer thresholds, including
+// the Lossy-Counting comparison and the adaptive-refresh (Theorem 2) cost.
+// This is the tool a DRAM vendor would use to pick an operating point.
+package main
+
+import (
+	"fmt"
+
+	"mithril"
+)
+
+func main() {
+	p := mithril.DDR5()
+
+	fmt.Println("Feasible Mithril operating points (Theorem 1, double-sided):")
+	fmt.Printf("%8s %8s %10s %10s %14s\n", "FlipTH", "RFMTH", "Nentry", "table KB", "bound M")
+	for _, flipTH := range []int{50000, 12500, 6250, 3125, 1500} {
+		for _, rfmTH := range []int{256, 128, 64, 32} {
+			cfg, ok := mithril.Configure(p, flipTH, rfmTH, 0)
+			if !ok {
+				fmt.Printf("%8d %8d %10s %10s %14s\n", flipTH, rfmTH, "-", "-", "infeasible")
+				continue
+			}
+			fmt.Printf("%8d %8d %10d %10.2f %14.0f\n",
+				flipTH, rfmTH, cfg.NEntry, cfg.TableKB, cfg.M)
+		}
+	}
+
+	fmt.Println("\nAdaptive refresh cost (Theorem 2): extra entries to keep the same")
+	fmt.Println("guarantee at FlipTH=3125, RFMTH=16 as AdTH grows:")
+	base, _ := mithril.Configure(p, 3125, 16, 0)
+	for _, adTH := range []int{0, 50, 100, 150, 200} {
+		cfg, ok := mithril.Configure(p, 3125, 16, adTH)
+		if !ok {
+			continue
+		}
+		fmt.Printf("  AdTH %3d: Nentry %4d (%+5.1f%%), M' = %.0f\n",
+			adTH, cfg.NEntry, 100*float64(cfg.NEntry-base.NEntry)/float64(base.NEntry), cfg.M)
+	}
+
+	fmt.Println("\nWhy the RFM interface needs greedy selection (Figure 2):")
+	fmt.Println("safe FlipTH when a reactive ARR scheme is retrofitted onto RFM:")
+	for _, pt := range mithril.Figure2Data() {
+		fmt.Printf("  threshold %5d: ARR-native %6.1fK  RFM-64 retrofit %6.1fK\n",
+			pt.Threshold, pt.ARR/1000, pt.RFM[64]/1000)
+	}
+}

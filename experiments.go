@@ -1,0 +1,636 @@
+package mithril
+
+import (
+	"fmt"
+
+	"mithril/internal/analysis"
+	"mithril/internal/attack"
+	"mithril/internal/energy"
+	"mithril/internal/mc"
+	"mithril/internal/mitigation"
+	"mithril/internal/sim"
+	"mithril/internal/stats"
+	"mithril/internal/timing"
+	"mithril/internal/trace"
+)
+
+// Scale sizes the simulation experiments. The paper runs 400M instructions
+// over 16 cores on McSimA+; the simulator is cycle-approximate and the
+// rate-based metrics (RFM frequency, refresh overheads) converge at far
+// smaller budgets, so Quick is the default for tests/benches and Full for
+// the CLI.
+type Scale struct {
+	Cores        int
+	InstrPerCore int64
+	FlipTHs      []int
+	Seed         uint64
+	// TimeScale compresses the refresh window (tREFW/TimeScale with
+	// proportionally fewer refresh groups, same refresh duty cycle) so
+	// window-relative mechanisms — BlockHammer blacklists, CBF epochs,
+	// PARFM sampling windows — engage within simulable horizons. All
+	// schemes are configured from the same scaled parameters, so relative
+	// comparisons are preserved (DESIGN.md §4).
+	TimeScale int
+}
+
+// Params returns the (possibly time-scaled) DDR5 parameters for this scale.
+func (sc Scale) Params() TimingParams {
+	p := timing.DDR5()
+	f := sc.TimeScale
+	if f <= 1 {
+		return p
+	}
+	p.TREFW /= PicoSeconds(f)
+	p.RefreshGroups /= f
+	return p
+}
+
+// attackCores sizes attack workloads: the paper's 15+1 arrangement at full
+// scale, a 3+1 arrangement otherwise (attack effects are per-bank, not
+// per-core, so fewer benign cores change little but cost linearly less).
+func (sc Scale) attackCores() int {
+	if sc.Cores >= 16 {
+		return sc.Cores
+	}
+	if sc.Cores > 4 {
+		return 4
+	}
+	return sc.Cores
+}
+
+// multiSidedVictims picks the attack width (32 at full scale, 8 quick).
+func (sc Scale) multiSidedVictims() int {
+	if sc.Cores >= 16 {
+		return 32
+	}
+	return 8
+}
+
+// attackInstrFactor extends attack runs so threshold mechanisms (NBL,
+// FlipTH accumulation) have time to engage.
+const attackInstrFactor = 64
+
+// QuickScale is the fast experiment configuration.
+func QuickScale() Scale {
+	return Scale{Cores: 8, InstrPerCore: 20_000, FlipTHs: []int{50000, 6250, 1500}, Seed: 1, TimeScale: 8}
+}
+
+// FullScale matches the paper's system size (16 cores, all FlipTH levels).
+func FullScale() Scale {
+	return Scale{Cores: 16, InstrPerCore: 100_000, FlipTHs: analysis.StandardFlipTHs, Seed: 1, TimeScale: 8}
+}
+
+// StandardFlipTHs re-exports the evaluation's FlipTH sweep.
+func StandardFlipTHs() []int { return append([]int(nil), analysis.StandardFlipTHs...) }
+
+// baseSimConfig builds the Table III system configuration at the scale's
+// (possibly time-compressed) timing.
+func baseSimConfig(flipTH int, sc Scale) SimConfig {
+	return SimConfig{
+		Params:       sc.Params(),
+		FlipTH:       flipTH,
+		Scheduler:    BLISS,
+		Policy:       MinimalistOpen,
+		InstrPerCore: sc.InstrPerCore,
+	}
+}
+
+// ---------------------------------------------------------------- Figure 2
+
+// Figure2Point re-exports the analytic Figure 2 data point.
+type Figure2Point = analysis.Figure2Point
+
+// Figure2Data evaluates the ARR-vs-RFM Graphene incompatibility curves.
+func Figure2Data() []Figure2Point {
+	thresholds := []int{250, 500, 1000, 2000, 4000, 8000}
+	rfmths := []int{256, 128, 64, 32}
+	return analysis.Figure2Curve(DDR5(), thresholds, rfmths)
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+// Figure6Series is one FlipTH line of Figure 6.
+type Figure6Series struct {
+	FlipTH int
+	CbS    []MithrilConfig // feasible (RFMTH → table) points, CbS tracker
+	Lossy  []MithrilConfig // same with Lossy Counting (dotted lines)
+}
+
+// Figure6Data computes the feasible configuration curves.
+func Figure6Data() []Figure6Series {
+	p := DDR5()
+	rfmths := []int{416, 384, 352, 320, 288, 256, 224, 192, 160, 128, 96, 64, 48, 32, 16}
+	flipTHs := []int{1560, 3125, 6250, 12500, 25000, 50000}
+	out := make([]Figure6Series, 0, len(flipTHs))
+	for _, f := range flipTHs {
+		s := Figure6Series{FlipTH: f}
+		s.CbS = analysis.ConfigCurve(p, f, rfmths, 0, analysis.DoubleSidedBlast)
+		if f >= 25000 { // the paper plots lossy counting at 25K and 50K
+			s.Lossy = analysis.LossyConfigCurve(p, f, rfmths, analysis.DoubleSidedBlast)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- Figure 7
+
+// Figure7Point is one AdTH level of Figure 7.
+type Figure7Point struct {
+	FlipTH, RFMTH, AdTH int
+	// EnergyOverheadPct per workload class (multi-programmed/threaded).
+	EnergyOverheadPct map[string]float64
+	// AdditionalNEntryPct is the Theorem 2 table growth (right axis).
+	AdditionalNEntryPct float64
+}
+
+// Figure7Data sweeps AdTH for the paper's two configurations on one
+// multi-programmed and one multi-threaded workload.
+func Figure7Data(sc Scale) ([]Figure7Point, error) {
+	p := sc.Params()
+	configs := []struct{ flipTH, rfmTH int }{{3125, 16}, {6250, 64}}
+	adths := []int{0, 50, 100, 150, 200}
+	workloads := map[string]Workload{
+		"multi-programmed": trace.MixHigh(sc.Cores, sc.Seed),
+		"multi-threaded":   trace.FFT(sc.Cores, sc.Seed),
+	}
+	// One baseline per workload (scheme-independent).
+	baselines := map[string]sim.Result{}
+	for name, w := range workloads {
+		cfg := baseSimConfig(configs[0].flipTH, sc)
+		cfg.Workload = w.Fresh()
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		baselines[name] = res
+	}
+	var out []Figure7Point
+	for _, c := range configs {
+		for _, ad := range adths {
+			pt := Figure7Point{FlipTH: c.flipTH, RFMTH: c.rfmTH, AdTH: ad,
+				EnergyOverheadPct: map[string]float64{}}
+			if pct, ok := analysis.AdditionalNEntryPercent(p, c.flipTH, c.rfmTH, ad); ok {
+				pt.AdditionalNEntryPct = pct
+			}
+			for name, w := range workloads {
+				scheme := mitigation.NewMithril(mitigation.Options{
+					Timing: p, FlipTH: c.flipTH, RFMTH: c.rfmTH, AdTH: adOrDisabled(ad), Seed: sc.Seed,
+				})
+				cfg := baseSimConfig(c.flipTH, sc)
+				cfg.Scheme = scheme
+				cfg.Workload = w.Fresh()
+				res, err := sim.Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				pt.EnergyOverheadPct[name] = energy.OverheadPercent(res.Energy, baselines[name].Energy)
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// adOrDisabled maps AdTH 0 to the mitigation package's "disabled" encoding.
+func adOrDisabled(ad int) int {
+	if ad == 0 {
+		return -1
+	}
+	return ad
+}
+
+// ---------------------------------------------------------------- Figure 8
+
+// Figure8Data reproduces the lbm-like access/activation characterization.
+type Figure8Data struct {
+	LargeWindow   []trace.RowSample
+	SmallWindow   []trace.RowSample
+	Activations   []trace.RowSample
+	LargeDistinct int
+	SmallDistinct int
+	SmallMaxRow   int // max accesses to one row in the small window
+}
+
+// Figure8 generates the large-object-sweep data series.
+func Figure8() Figure8Data {
+	mapper := mc.NewAddressMapper(DDR5())
+	large := trace.RowSeries(trace.NewStream("lbm", 0, 128<<20, 12, 4), mapper, 100_000)
+	small := trace.RowSeries(trace.NewStream("lbm", 0, 128<<20, 12, 4), mapper, 512)
+	acts := trace.ActivationSeries(small)
+	ld, _ := trace.ConcentrationStats(large)
+	sd, sm := trace.ConcentrationStats(small)
+	return Figure8Data{
+		LargeWindow: large, SmallWindow: small, Activations: acts,
+		LargeDistinct: ld, SmallDistinct: sd, SmallMaxRow: sm,
+	}
+}
+
+// --------------------------------------------------------------- Figures 9–11
+
+// PerfPoint is one (scheme, FlipTH, workload) measurement.
+type PerfPoint struct {
+	Scheme              string
+	FlipTH              int
+	RFMTH               int
+	Workload            string
+	RelativePerformance float64 // % of unprotected aggregate IPC
+	EnergyOverheadPct   float64
+	TableKB             float64
+	Safe                bool
+}
+
+// String renders the point for logs.
+func (p PerfPoint) String() string {
+	return fmt.Sprintf("%-12s FlipTH=%-6d %-16s perf=%6.2f%% energy=+%5.2f%% table=%6.2fKB safe=%v",
+		p.Scheme, p.FlipTH, p.Workload, p.RelativePerformance, p.EnergyOverheadPct, p.TableKB, p.Safe)
+}
+
+// runner caches per-workload baselines so every scheme is normalized
+// against an identical unprotected run.
+type runner struct {
+	sc        Scale
+	baselines map[string]sim.Result
+}
+
+func newRunner(sc Scale) *runner { return &runner{sc: sc, baselines: map[string]sim.Result{}} }
+
+// cfgFor derives the run configuration for a workload: attack workloads
+// get an extended instruction budget and end when the benign cores finish.
+func (r *runner) cfgFor(flipTH int, w Workload) SimConfig {
+	cfg := baseSimConfig(flipTH, r.sc)
+	cfg.Workload = w.Fresh()
+	if w.Attackers > 0 {
+		cfg.InstrPerCore = r.sc.InstrPerCore * attackInstrFactor
+		cfg.RequireCores = len(cfg.Workload) - w.Attackers
+	}
+	return cfg
+}
+
+func (r *runner) baseline(flipTH int, w Workload) (sim.Result, error) {
+	if res, ok := r.baselines[w.Name]; ok {
+		return res, nil
+	}
+	cfg := r.cfgFor(flipTH, w)
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	r.baselines[w.Name] = res
+	return res, nil
+}
+
+// benignIPC sums per-core IPCs excluding attacker cores (negative count
+// means none).
+func benignIPC(res sim.Result, attackers int) float64 {
+	total := 0.0
+	n := len(res.IPCs) - attackers
+	for i := 0; i < n; i++ {
+		total += res.IPCs[i]
+	}
+	return total
+}
+
+// measure runs scheme on workload and produces the normalized point;
+// trailing attacker cores (w.Attackers) are excluded from IPC aggregation.
+func (r *runner) measure(scheme mc.Scheme, flipTH int, w Workload) (PerfPoint, error) {
+	attackers := w.Attackers
+	base, err := r.baseline(flipTH, w)
+	if err != nil {
+		return PerfPoint{}, err
+	}
+	cfg := r.cfgFor(flipTH, w)
+	cfg.Scheme = scheme
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return PerfPoint{}, err
+	}
+	pt := PerfPoint{
+		Scheme:   scheme.Name(),
+		FlipTH:   flipTH,
+		Workload: w.Name,
+		Safe:     res.Safety.Safe(),
+	}
+	if b := benignIPC(base, attackers); b > 0 {
+		pt.RelativePerformance = 100 * benignIPC(res, attackers) / b
+	}
+	pt.EnergyOverheadPct = energy.OverheadPercent(res.Energy, base.Energy)
+	return pt, nil
+}
+
+// normalWorkloads returns the benign workload set for a scale (two mixes at
+// quick scale; the paper's five at full scale).
+func normalWorkloads(sc Scale) []Workload {
+	if sc.Cores < 16 {
+		return []Workload{trace.MixHigh(sc.Cores, sc.Seed), trace.FFT(sc.Cores, sc.Seed)}
+	}
+	all := trace.NormalWorkloads(sc.Cores, sc.Seed)
+	out := make([]Workload, len(all))
+	for i, w := range all {
+		out[i] = w.Workload
+	}
+	return out
+}
+
+// multiSidedWorkload builds the Figure 10(b) workload: benign cores plus
+// one multi-sided attacker (32 victims at full scale).
+func multiSidedWorkload(sc Scale) Workload {
+	mapper := mc.NewAddressMapper(sc.Params())
+	n := sc.attackCores()
+	benign := trace.MixHigh(n, sc.Seed)
+	victims := sc.multiSidedVictims()
+	return Workload{
+		Name:      "multi-sided-rh",
+		Attackers: 1,
+		Fresh: func() []Generator {
+			gens := benign.Fresh()
+			gens[len(gens)-1] = attack.NewMultiSided(mapper, 1, 7, 4000, victims)
+			return gens
+		},
+	}
+}
+
+// adversarialWorkload builds the Figure 10(c) workload: benign cores with
+// one hot-row service core, plus a BlockHammer-collision adversary aimed at
+// the service core's rows. Against non-throttling schemes the adversary's
+// walk is harmless background traffic.
+func adversarialWorkload(sc Scale, scheme mc.Scheme) Workload {
+	p := sc.Params()
+	mapper := mc.NewAddressMapper(p)
+	n := sc.attackCores()
+	benign := trace.MixHigh(n, sc.Seed)
+	victimCore := n - 2
+	if victimCore < 0 {
+		victimCore = 0
+	}
+	base := uint64(victimCore) << 28
+	loc := mapper.Map(base)
+	return Workload{
+		// The workload embeds the deployed scheme's collision oracle, so
+		// baselines must not be shared across schemes.
+		Name:      "bh-adversarial/" + scheme.Name(),
+		Attackers: 1,
+		Fresh: func() []Generator {
+			gens := benign.Fresh()
+			// The service core strides an 8 MB object with a prime stride:
+			// cache-hostile, so its rows keep re-activating — throttling
+			// them (or escalating to the whole thread) hurts directly.
+			gens[victimCore] = trace.NewStrided("service", base, 8<<20, 257, 6)
+			// The adversary hammers rows that collide with the service
+			// core's hot rows in the deployed scheme's filters.
+			gens[len(gens)-1] = adversaryFor(mapper, loc, scheme)
+			return gens
+		},
+	}
+}
+
+// adversaryFor builds a combined collision attack over the service core's
+// first four hot rows in its first bank.
+func adversaryFor(mapper *mc.AddressMapper, loc mc.Location, scheme mc.Scheme) Generator {
+	var rows []int
+	if th, ok := scheme.(attack.Throttler); ok {
+		for i := 0; i < 2; i++ {
+			for _, r := range th.CollidingRows(loc.GlobalBank, uint32(loc.Row+i), 4) {
+				rows = append(rows, int(r))
+			}
+		}
+	}
+	if len(rows) == 0 {
+		for i := 0; i < 16; i++ {
+			rows = append(rows, (loc.Row+64+8*i)%mapper.Params().Rows)
+		}
+	}
+	return attack.NewRowList("bh-adversarial", mapper, loc.Channel, loc.Bank, rows)
+}
+
+// Figure9Point compares Mithril and Mithril+ at one operating point.
+type Figure9Point struct {
+	FlipTH, RFMTH int
+	Mithril       float64 // relative performance %
+	MithrilPlus   float64
+	TableKB       float64
+	EnergyMithril float64
+	EnergyPlus    float64
+}
+
+// Figure9Data sweeps the paper's (FlipTH, RFMTH) grid on the mix-high
+// workload.
+func Figure9Data(sc Scale) ([]Figure9Point, error) {
+	grid := map[int][]int{12500: {512, 256, 128}, 6250: {256, 128, 64}, 3125: {128, 64, 32}, 1500: {32}}
+	order := []int{12500, 6250, 3125, 1500}
+	r := newRunner(sc)
+	w := trace.MixHigh(sc.Cores, sc.Seed)
+	var out []Figure9Point
+	for _, flipTH := range order {
+		for _, rfmTH := range grid[flipTH] {
+			opt := mitigation.Options{Timing: sc.Params(), FlipTH: flipTH, RFMTH: rfmTH, Seed: sc.Seed}
+			if _, ok := analysis.Configure(sc.Params(), flipTH, rfmTH, mitigation.DefaultAdTH, analysis.DoubleSidedBlast); !ok {
+				continue
+			}
+			m, err := r.measure(mitigation.NewMithril(opt), flipTH, w)
+			if err != nil {
+				return nil, err
+			}
+			plus, err := r.measure(mitigation.NewMithrilPlus(opt), flipTH, w)
+			if err != nil {
+				return nil, err
+			}
+			kb, _ := analysis.MithrilTableKB(DDR5(), flipTH, rfmTH, 0)
+			out = append(out, Figure9Point{
+				FlipTH: flipTH, RFMTH: rfmTH,
+				Mithril: m.RelativePerformance, MithrilPlus: plus.RelativePerformance,
+				TableKB:       kb,
+				EnergyMithril: m.EnergyOverheadPct, EnergyPlus: plus.EnergyOverheadPct,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Figure10Data evaluates the RFM-compatible schemes (PARFM, BlockHammer,
+// Mithril, Mithril+) across FlipTH on normal, multi-sided-RH, and
+// BlockHammer-adversarial workloads, plus energy and area.
+func Figure10Data(sc Scale) ([]PerfPoint, error) {
+	return comparisonSweep(sc, []string{"parfm", "blockhammer", "mithril", "mithril+"}, true)
+}
+
+// Figure11Data evaluates the RFM-non-compatible baselines (PARA, CBT,
+// TWiCe, Graphene) against Mithril and Mithril+ on normal and multi-sided
+// workloads.
+func Figure11Data(sc Scale) ([]PerfPoint, error) {
+	return comparisonSweep(sc, []string{"para", "cbt", "twice", "graphene", "mithril", "mithril+"}, false)
+}
+
+func comparisonSweep(sc Scale, schemes []string, adversarial bool) ([]PerfPoint, error) {
+	r := newRunner(sc)
+	normals := normalWorkloads(sc)
+	rhW := multiSidedWorkload(sc)
+	var out []PerfPoint
+	for _, flipTH := range sc.FlipTHs {
+		for _, name := range schemes {
+			build := func() (mc.Scheme, error) {
+				return mitigation.Build(name, mitigation.Options{Timing: sc.Params(), FlipTH: flipTH, Seed: sc.Seed})
+			}
+			// Normal workloads: geo-mean of relative performance, mean of
+			// energy overhead.
+			var perfs []float64
+			var energySum float64
+			var safe = true
+			for _, w := range normals {
+				s, err := build()
+				if err != nil {
+					return nil, err
+				}
+				pt, err := r.measure(s, flipTH, w)
+				if err != nil {
+					return nil, err
+				}
+				perfs = append(perfs, pt.RelativePerformance)
+				energySum += pt.EnergyOverheadPct
+				safe = safe && pt.Safe
+			}
+			out = append(out, PerfPoint{
+				Scheme: name, FlipTH: flipTH, Workload: "normal",
+				RelativePerformance: stats.Geomean(perfs),
+				EnergyOverheadPct:   energySum / float64(len(normals)),
+				TableKB:             schemeTableKB(name, flipTH),
+				Safe:                safe,
+			})
+			// Multi-sided RH.
+			s, err := build()
+			if err != nil {
+				return nil, err
+			}
+			pt, err := r.measure(s, flipTH, rhW)
+			if err != nil {
+				return nil, err
+			}
+			pt.TableKB = schemeTableKB(name, flipTH)
+			out = append(out, pt)
+			// BlockHammer-adversarial (Figure 10 only).
+			if adversarial {
+				s, err := build()
+				if err != nil {
+					return nil, err
+				}
+				advW := adversarialWorkload(sc, s)
+				apt, err := r.measure(s, flipTH, advW)
+				if err != nil {
+					return nil, err
+				}
+				apt.TableKB = schemeTableKB(name, flipTH)
+				out = append(out, apt)
+			}
+		}
+	}
+	return out, nil
+}
+
+// schemeTableKB reports the per-bank counter table area for the scheme at
+// a FlipTH level (Figure 10(e)/Table IV models).
+func schemeTableKB(name string, flipTH int) float64 {
+	p := DDR5()
+	switch name {
+	case "graphene":
+		return analysis.GrapheneTableKB(p, flipTH)
+	case "twice":
+		return analysis.TWiCeTableKB(p, flipTH)
+	case "cbt":
+		return analysis.CBTTableKB(p, flipTH)
+	case "blockhammer":
+		return analysis.BlockHammerTableKB(flipTH)
+	case "mithril", "mithril+":
+		kb, ok := analysis.MithrilTableKB(p, flipTH, mitigation.PaperRFMTH(flipTH), 0)
+		if !ok {
+			return 0
+		}
+		return kb
+	default:
+		return 0
+	}
+}
+
+// ---------------------------------------------------------------- Table IV
+
+// TableIVRow re-exports the area table row.
+type TableIVRow = analysis.TableIVRow
+
+// Table4Data returns our computed Table IV and the paper's reference values.
+func Table4Data() (computed, paper []TableIVRow) {
+	return analysis.TableIV(DDR5()), analysis.PaperTableIV()
+}
+
+// ------------------------------------------------------------- Safety (E11)
+
+// SafetyResult is one scheme × attack verdict.
+type SafetyResult struct {
+	Scheme         string
+	Attack         string
+	FlipTH         int
+	Flips          int
+	MaxDisturbance float64
+	Safe           bool
+}
+
+// SafetySweep attacks every scheme with double- and multi-sided patterns in
+// the full simulator and reports the fault-model verdicts.
+func SafetySweep(sc Scale, flipTH int) ([]SafetyResult, error) {
+	mapper := mc.NewAddressMapper(sc.Params())
+	// Background core first, attacker last: the run ends when the benign
+	// core finishes even if the attacker is throttled to a crawl. The
+	// background must be memory-bound (footprint ≫ LLC) so the attacker
+	// gets a realistic time window.
+	attacks := map[string]func() []Generator{
+		"double-sided": func() []Generator {
+			return []Generator{
+				trace.NewStream("bg", 1<<28, 64<<20, 10, 4),
+				attack.NewDoubleSided(mapper, 0, 0, 1000),
+			}
+		},
+		"multi-sided-32": func() []Generator {
+			return []Generator{
+				trace.NewStream("bg", 1<<28, 64<<20, 10, 4),
+				attack.NewMultiSided(mapper, 0, 0, 2000, 32),
+			}
+		},
+	}
+	schemes := append([]string{"none"}, "parfm", "blockhammer", "graphene", "twice", "cbt", "mithril", "mithril+")
+	var out []SafetyResult
+	for attackName, fresh := range attacks {
+		for _, name := range schemes {
+			s, err := mitigation.Build(name, mitigation.Options{Timing: sc.Params(), FlipTH: flipTH, Seed: sc.Seed})
+			if err != nil {
+				return nil, err
+			}
+			cfg := baseSimConfig(flipTH, sc)
+			cfg.Scheme = s
+			cfg.Workload = fresh()
+			cfg.InstrPerCore = sc.InstrPerCore * attackInstrFactor
+			cfg.RequireCores = 1 // benign core only
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, SafetyResult{
+				Scheme: name, Attack: attackName, FlipTH: flipTH,
+				Flips: res.Safety.Flips, MaxDisturbance: res.Safety.MaxDisturbance,
+				Safe: res.Safety.Safe(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// PARFMFailure re-exports the Appendix C failure model for the CLI.
+func PARFMFailure(flipTH, rfmTH int) (bank, system float64) {
+	p := DDR5()
+	return analysis.ParfmBankFailure(p, flipTH, rfmTH),
+		analysis.ParfmSystemFailure(p, flipTH, rfmTH, analysis.DefaultAttackableBanks)
+}
+
+// PARFMRequiredRFMTH re-exports the RFMTH search (1e-15 target).
+func PARFMRequiredRFMTH(flipTH int) (int, bool) {
+	return analysis.ParfmRequiredRFMTH(DDR5(), flipTH, analysis.DefaultAttackableBanks, 1e-15, nil)
+}
+
+var _ = timing.DDR5 // keep the import stable for the type aliases above

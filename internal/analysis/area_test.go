@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"mithril/internal/timing"
+)
+
+// within reports |got/want − 1| ≤ tol, the calibration criterion we use
+// against the paper's Table IV (the paper's numbers come from RTL synthesis;
+// ours from analytic sizing — we require the same magnitude, not identity).
+func within(got, want, tol float64) bool {
+	if want == 0 {
+		return got == 0
+	}
+	return math.Abs(got/want-1) <= tol
+}
+
+func TestBlockHammerTableMatchesPaper(t *testing.T) {
+	// The (CBF size, NBL) pairs are taken verbatim from Section VI-A, so
+	// the derived sizes should match Table IV tightly.
+	want := map[int]float64{50000: 3.75, 25000: 3.5, 12500: 3.25, 6250: 6.0, 3125: 11.0, 1500: 20.0}
+	for f, w := range want {
+		if got := BlockHammerTableKB(f); !within(got, w, 0.15) {
+			t.Errorf("BlockHammer @ %d = %.2f KB, paper %.2f", f, got, w)
+		}
+	}
+}
+
+func TestGrapheneTableShape(t *testing.T) {
+	p := timing.DDR5()
+	paper := map[int]float64{50000: 0.14, 25000: 0.21, 12500: 0.51, 6250: 0.99, 3125: 1.92, 1500: 3.7}
+	for f, w := range paper {
+		got := GrapheneTableKB(p, f)
+		if !within(got, w, 0.6) {
+			t.Errorf("Graphene @ %d = %.3f KB, paper %.2f (want same magnitude)", f, got, w)
+		}
+	}
+	if !(GrapheneTableKB(p, 1500) > GrapheneTableKB(p, 50000)) {
+		t.Error("Graphene table must grow as FlipTH shrinks")
+	}
+}
+
+func TestTWiCeTableShape(t *testing.T) {
+	p := timing.DDR5()
+	paper := map[int]float64{50000: 2.79, 25000: 5.08, 12500: 9.54, 6250: 18.27, 3125: 35.29, 1500: 71.26}
+	for f, w := range paper {
+		got := TWiCeTableKB(p, f)
+		if !within(got, w, 0.4) {
+			t.Errorf("TWiCe @ %d = %.2f KB, paper %.2f", f, got, w)
+		}
+	}
+}
+
+func TestCBTTableShape(t *testing.T) {
+	p := timing.DDR5()
+	paper := map[int]float64{50000: 0.47, 25000: 0.97, 12500: 2.0, 6250: 4.12, 3125: 8.5, 1500: 17.5}
+	for f, w := range paper {
+		got := CBTTableKB(p, f)
+		if !within(got, w, 0.5) {
+			t.Errorf("CBT @ %d = %.2f KB, paper %.2f", f, got, w)
+		}
+	}
+}
+
+func TestMithrilTableMatchesPaperMagnitude(t *testing.T) {
+	p := timing.DDR5()
+	cases := []struct {
+		flipTH, rfmTH int
+		paper         float64
+	}{
+		{50000, 256, 0.08}, {25000, 256, 0.17}, {12500, 256, 0.41}, {6250, 256, 1.45},
+		{6250, 128, 0.84}, {3125, 128, 3.76},
+		{3125, 64, 1.78},
+		{1500, 32, 4.64},
+	}
+	for _, c := range cases {
+		got, ok := MithrilTableKB(p, c.flipTH, c.rfmTH, 0)
+		if !ok {
+			t.Errorf("Mithril-%d @ %d infeasible, paper has %.2f KB", c.rfmTH, c.flipTH, c.paper)
+			continue
+		}
+		if !within(got, c.paper, 0.6) {
+			t.Errorf("Mithril-%d @ %d = %.3f KB, paper %.2f", c.rfmTH, c.flipTH, got, c.paper)
+		}
+	}
+}
+
+func TestMithrilSmallerThanBlockHammerEverywhere(t *testing.T) {
+	// Figure 10(e): Mithril's table is 4×–60× smaller than BlockHammer's
+	// at every FlipTH (using the best feasible RFMTH per level as the paper
+	// does).
+	p := timing.DDR5()
+	for _, f := range StandardFlipTHs {
+		var best float64
+		found := false
+		for _, r := range []int{256, 128, 64, 32} {
+			if kb, ok := MithrilTableKB(p, f, r, 0); ok {
+				if !found || kb < best {
+					best, found = kb, true
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("no feasible Mithril config at FlipTH=%d", f)
+		}
+		bh := BlockHammerTableKB(f)
+		ratio := bh / best
+		if ratio < 2 {
+			t.Errorf("FlipTH=%d: BlockHammer/Mithril ratio %.1f, want ≥ 4× (paper: 4–60×)", f, ratio)
+		}
+	}
+}
+
+func TestTableIVStructure(t *testing.T) {
+	p := timing.DDR5()
+	rows := TableIV(p)
+	if len(rows) != 8 {
+		t.Fatalf("TableIV has %d rows, want 8", len(rows))
+	}
+	paper := PaperTableIV()
+	if len(paper) != 8 {
+		t.Fatalf("PaperTableIV has %d rows, want 8", len(paper))
+	}
+	// Infeasible cells must agree with the paper's dashes.
+	for i, row := range rows {
+		for _, f := range StandardFlipTHs {
+			gotNaN := math.IsNaN(row.KB[f])
+			wantNaN := math.IsNaN(paper[i].KB[f])
+			if gotNaN != wantNaN {
+				t.Errorf("%s @ %d: feasibility mismatch (got NaN=%v, paper NaN=%v)", row.Scheme, f, gotNaN, wantNaN)
+			}
+		}
+	}
+}
+
+func TestBlockHammerConfigForInterpolates(t *testing.T) {
+	c, n := BlockHammerConfigFor(5000) // nearest standard level: 6250
+	if c != 2048 || n != 2100 {
+		t.Fatalf("BlockHammerConfigFor(5000) = (%d, %d), want (2048, 2100)", c, n)
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int]string{0: "0", 5: "5", 256: "256", -32: "-32"}
+	for v, want := range cases {
+		if got := itoa(v); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mithril/internal/timing"
+)
+
+func TestHarmonic(t *testing.T) {
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 1.5},
+		{4, 25.0 / 12},
+	}
+	for _, c := range cases {
+		if got := Harmonic(c.n); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Harmonic(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+	if h := Harmonic(1000); math.Abs(h-(math.Log(1000)+0.5772)) > 0.01 {
+		t.Errorf("Harmonic(1000) = %v, want ≈ ln(1000)+γ", h)
+	}
+}
+
+func TestBoundMKnownPoint(t *testing.T) {
+	// Hand-computed: RFMTH=256, N=32 at DDR5 timings: W(256) ≈ 2358,
+	// M ≈ 256·H_32 + 256·2356/32 ≈ 1039 + 18848 ≈ 19.9K.
+	p := timing.DDR5()
+	m := BoundM(p, 32, 256)
+	if m < 18000 || m < 0 || m > 22000 {
+		t.Fatalf("BoundM(32, 256) = %v, want ≈ 19.9K", m)
+	}
+}
+
+func TestBoundMMonotonicityInRFMTH(t *testing.T) {
+	// Larger RFMTH (fewer RFM commands) must weaken the bound (larger M).
+	p := timing.DDR5()
+	prev := 0.0
+	for i, r := range []int{16, 32, 64, 128, 256} {
+		m := BoundM(p, 128, r)
+		if i > 0 && m <= prev {
+			t.Fatalf("M should increase with RFMTH: M(%d)=%v ≤ M(prev)=%v", r, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestBoundMDegenerateInputs(t *testing.T) {
+	p := timing.DDR5()
+	if !math.IsInf(BoundM(p, 0, 64), 1) || !math.IsInf(BoundM(p, 64, 0), 1) {
+		t.Fatal("degenerate inputs should yield +Inf")
+	}
+	if !math.IsInf(BoundMPrime(p, 64, 64, -1), 1) {
+		t.Fatal("negative AdTH should yield +Inf")
+	}
+}
+
+func TestBoundMPrimeReducesToBoundMAtZeroAdTH(t *testing.T) {
+	p := timing.DDR5()
+	f := func(nRaw, rRaw uint8) bool {
+		n := int(nRaw)%500 + 1
+		r := int(rRaw)%256 + 1
+		return math.Abs(BoundMPrime(p, n, r, 0)-BoundM(p, n, r)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundMPrimeAtLeastBoundM(t *testing.T) {
+	// Adaptive refresh can only deteriorate the bound (Section V-A).
+	p := timing.DDR5()
+	f := func(nRaw, rRaw uint8, adRaw uint16) bool {
+		n := int(nRaw)%500 + 2
+		r := int(rRaw)%256 + 1
+		ad := int(adRaw) % 1000
+		return BoundMPrime(p, n, r, ad)+1e-9 >= BoundM(p, n, r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinNEntryFindsFeasibleConfig(t *testing.T) {
+	p := timing.DDR5()
+	n, ok := MinNEntry(p, 6250, 128, 0, DoubleSidedBlast)
+	if !ok {
+		t.Fatal("FlipTH=6.25K RFMTH=128 should be feasible")
+	}
+	// The paper quotes ≈1KB tables here; sanity: a few hundred entries.
+	if n < 100 || n > 600 {
+		t.Fatalf("MinNEntry = %d, want a few hundred", n)
+	}
+	// Minimality: N-1 must violate the bound.
+	if BoundM(p, n-1, 128) < 6250/2 {
+		t.Fatalf("N−1 = %d already satisfies the bound; MinNEntry not minimal", n-1)
+	}
+	if BoundM(p, n, 128) >= 6250/2 {
+		t.Fatal("returned N does not satisfy the bound")
+	}
+}
+
+func TestMinNEntryInfeasibleAtExtremeTarget(t *testing.T) {
+	p := timing.DDR5()
+	// RFMTH=256 cannot reach FlipTH=1.5K (paper: Mithril-256 dashes).
+	if _, ok := MinNEntry(p, 1500, 256, 0, DoubleSidedBlast); ok {
+		t.Fatal("FlipTH=1.5K at RFMTH=256 should be infeasible")
+	}
+	if _, ok := MinNEntry(p, 0, 64, 0, DoubleSidedBlast); ok {
+		t.Fatal("FlipTH=0 should be infeasible")
+	}
+}
+
+func TestPaperFeasibilityMatrix(t *testing.T) {
+	// Table IV dashes: Mithril-256 infeasible at 3.125K and 1.5K;
+	// Mithril-128 infeasible at 1.5K; Mithril-32 feasible everywhere.
+	p := timing.DDR5()
+	type cell struct {
+		flipTH, rfmTH int
+		feasible      bool
+	}
+	// Note: Mithril-64 @ 1.5K is mathematically feasible but needs ≈3K
+	// entries; the paper's Table IV dash there is a practicality cut
+	// (handled by TableIV's MaxPracticalNEntry), not infeasibility.
+	cases := []cell{
+		{50000, 256, true}, {6250, 256, true}, {3125, 256, false}, {1500, 256, false},
+		{3125, 128, true}, {1500, 128, false},
+		{3125, 64, true}, {1500, 64, true},
+		{1500, 32, true},
+	}
+	for _, c := range cases {
+		_, ok := MinNEntry(p, c.flipTH, c.rfmTH, 0, DoubleSidedBlast)
+		if ok != c.feasible {
+			t.Errorf("FlipTH=%d RFMTH=%d: feasible=%v, want %v", c.flipTH, c.rfmTH, ok, c.feasible)
+		}
+	}
+}
+
+func TestConfigureTableSizesMatchPaperShape(t *testing.T) {
+	// Figure 6 / Table IV shape: table grows as FlipTH shrinks, and for a
+	// fixed FlipTH a smaller RFMTH needs fewer entries.
+	p := timing.DDR5()
+	c256, ok1 := Configure(p, 6250, 256, 0, DoubleSidedBlast)
+	c32, ok2 := Configure(p, 6250, 32, 0, DoubleSidedBlast)
+	if !ok1 || !ok2 {
+		t.Fatal("6.25K configs should be feasible")
+	}
+	if c32.NEntry >= c256.NEntry {
+		t.Errorf("smaller RFMTH should need a smaller table: N(32)=%d ≥ N(256)=%d", c32.NEntry, c256.NEntry)
+	}
+	// Paper: Mithril-256 @ 6.25K ≈ 1.45 KB — accept the right order.
+	if c256.TableKB < 0.7 || c256.TableKB > 3 {
+		t.Errorf("Mithril-256 @ 6.25K = %.2f KB, want ≈ 1.5 KB", c256.TableKB)
+	}
+	hi, _ := Configure(p, 50000, 128, 0, DoubleSidedBlast)
+	lo, _ := Configure(p, 3125, 128, 0, DoubleSidedBlast)
+	if hi.TableKB >= lo.TableKB {
+		t.Errorf("lower FlipTH must cost more area: %v ≥ %v", hi.TableKB, lo.TableKB)
+	}
+}
+
+func TestLossyBoundNeedsLargerTable(t *testing.T) {
+	// Figure 6 dotted lines: at the same (FlipTH, RFMTH), the Lossy-
+	// Counting variant needs more entries than CbS.
+	p := timing.DDR5()
+	for _, flipTH := range []int{50000, 25000} {
+		for _, r := range []int{256, 128, 64} {
+			nc, ok1 := MinNEntry(p, flipTH, r, 0, DoubleSidedBlast)
+			nl, ok2 := MinNEntryLossy(p, flipTH, r, DoubleSidedBlast)
+			if !ok1 {
+				continue
+			}
+			if !ok2 {
+				t.Errorf("lossy infeasible where CbS feasible (FlipTH=%d RFMTH=%d)", flipTH, r)
+				continue
+			}
+			if nl <= nc {
+				t.Errorf("FlipTH=%d RFMTH=%d: lossy N=%d should exceed CbS N=%d", flipTH, r, nl, nc)
+			}
+		}
+	}
+}
+
+func TestConfigCurveSkipsInfeasible(t *testing.T) {
+	p := timing.DDR5()
+	curve := ConfigCurve(p, 1500, []int{256, 128, 64, 32}, 0, DoubleSidedBlast)
+	if len(curve) != 2 || curve[0].RFMTH != 64 || curve[1].RFMTH != 32 {
+		t.Fatalf("1.5K curve = %v, want RFMTH 64 and 32 only", curve)
+	}
+	curve = ConfigCurve(p, 50000, []int{256, 128, 64, 32}, 0, DoubleSidedBlast)
+	if len(curve) != 4 {
+		t.Fatalf("50K curve has %d points, want 4", len(curve))
+	}
+}
+
+func TestAdditionalNEntryPercent(t *testing.T) {
+	// Figure 7: the extra entries stay modest (≤ ~12% at 3.125K/16 with
+	// AdTH up to 200) and grow with AdTH.
+	p := timing.DDR5()
+	prev := -1.0
+	for _, ad := range []int{0, 50, 100, 150, 200} {
+		pct, ok := AdditionalNEntryPercent(p, 3125, 16, ad)
+		if !ok {
+			t.Fatalf("AdTH=%d infeasible", ad)
+		}
+		if pct < prev-1e-9 {
+			t.Errorf("additional Nentry should not shrink with AdTH: %v after %v", pct, prev)
+		}
+		prev = pct
+	}
+	if prev > 25 {
+		t.Errorf("additional Nentry at AdTH=200 = %.1f%%, paper reports ≤ ~12%%", prev)
+	}
+	if zero, _ := AdditionalNEntryPercent(p, 3125, 16, 0); zero != 0 {
+		t.Errorf("AdTH=0 must add 0%%, got %v", zero)
+	}
+}
+
+func TestAddressBits(t *testing.T) {
+	cases := []struct{ rows, want int }{{1, 0}, {2, 1}, {65536, 16}, {65537, 17}, {131072, 17}}
+	for _, c := range cases {
+		if got := AddressBits(c.rows); got != c.want {
+			t.Errorf("AddressBits(%d) = %d, want %d", c.rows, got, c.want)
+		}
+	}
+}
+
+func TestMithrilCounterBits(t *testing.T) {
+	if got := MithrilCounterBits(3000); got != 13 {
+		t.Errorf("MithrilCounterBits(3000) = %d, want 13 (2^12 = 4096 > 3000)", got)
+	}
+	if got := MithrilCounterBits(-5); got != 1 {
+		t.Errorf("negative bound should clamp to minimal width, got %d", got)
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	c := Config{FlipTH: 6250, RFMTH: 128, NEntry: 300, M: 3000, TableKB: 1.1}
+	s := c.String()
+	if s == "" {
+		t.Fatal("String() should not be empty")
+	}
+}

@@ -1,0 +1,136 @@
+// Package attack builds the adversarial access patterns of the evaluation:
+// single-, double- and multi-sided RowHammer (Section VI-A's 32-victim
+// attack) and the BlockHammer performance-adversarial pattern that
+// blacklists benign rows by counting-Bloom-filter collision.
+package attack
+
+import (
+	"fmt"
+
+	"mithril/internal/mc"
+	"mithril/internal/trace"
+)
+
+// RowHammer cycles through a set of aggressor rows in one bank at the
+// maximum rate the core can sustain (Gap = 0).
+type RowHammer struct {
+	name   string
+	mapper *mc.AddressMapper
+	locs   []mc.Location
+	cursor int
+	col    int
+}
+
+var _ trace.Generator = (*RowHammer)(nil)
+
+// Name implements trace.Generator.
+func (r *RowHammer) Name() string { return r.name }
+
+// Next implements trace.Generator.
+func (r *RowHammer) Next() trace.Access {
+	loc := r.locs[r.cursor]
+	r.cursor = (r.cursor + 1) % len(r.locs)
+	// Walk the column so consecutive hammer reads are not coalesced by the
+	// cache; real attacks use CLFLUSH, which the column walk approximates.
+	r.col = (r.col + 7) % r.mapper.Params().ColumnsPerRow
+	loc.Column = r.col
+	// Uncached: RowHammer loops flush their lines (CLFLUSH) so every read
+	// reaches DRAM; Serialize: the classic loop is load→flush→load.
+	return trace.Access{Gap: 0, Addr: r.mapper.Compose(loc), Serialize: true, Uncached: true}
+}
+
+// AggressorRows lists the attacked rows (bank-local).
+func (r *RowHammer) AggressorRows(mapper *mc.AddressMapper) []int {
+	rows := make([]int, len(r.locs))
+	for i, l := range r.locs {
+		rows[i] = l.Row
+	}
+	return rows
+}
+
+// NewDoubleSided hammers the two rows around one victim.
+func NewDoubleSided(mapper *mc.AddressMapper, channel, bank, victimRow int) *RowHammer {
+	return newRowAttack("double-sided", mapper, channel, bank, []int{victimRow - 1, victimRow + 1})
+}
+
+// NewMultiSided hammers nVictims+1 equally spaced rows so that nVictims
+// rows sit between consecutive aggressors — the TRRespass-style multi-sided
+// attack (paper default: 32 victims).
+func NewMultiSided(mapper *mc.AddressMapper, channel, bank, firstRow, nVictims int) *RowHammer {
+	rows := make([]int, nVictims+1)
+	for i := range rows {
+		rows[i] = firstRow + 2*i
+	}
+	return newRowAttack(fmt.Sprintf("multi-sided-%d", nVictims), mapper, channel, bank, rows)
+}
+
+// NewSingleSided hammers one row.
+func NewSingleSided(mapper *mc.AddressMapper, channel, bank, row int) *RowHammer {
+	return newRowAttack("single-sided", mapper, channel, bank, []int{row})
+}
+
+// NewRowList hammers an explicit row list (used by the BlockHammer
+// adversarial pattern, whose rows come from CBF collision search).
+func NewRowList(name string, mapper *mc.AddressMapper, channel, bank int, rows []int) *RowHammer {
+	return newRowAttack(name, mapper, channel, bank, rows)
+}
+
+func newRowAttack(name string, mapper *mc.AddressMapper, channel, bank int, rows []int) *RowHammer {
+	if len(rows) == 0 {
+		panic("attack: no aggressor rows")
+	}
+	p := mapper.Params()
+	locs := make([]mc.Location, len(rows))
+	for i, row := range rows {
+		if row < 0 || row >= p.Rows {
+			panic(fmt.Sprintf("attack: row %d outside bank of %d rows", row, p.Rows))
+		}
+		locs[i] = mc.Location{Channel: channel, Bank: bank, Row: row}
+	}
+	return &RowHammer{name: name, mapper: mapper, locs: locs}
+}
+
+// VictimRowsOfMultiSided returns the victim rows between the aggressors of
+// a multi-sided attack starting at firstRow, for checker assertions.
+func VictimRowsOfMultiSided(firstRow, nVictims int) []int {
+	victims := make([]int, nVictims)
+	for i := range victims {
+		victims[i] = firstRow + 2*i + 1
+	}
+	return victims
+}
+
+// Throttler is implemented by mitigations whose estimator can be probed for
+// collision rows (BlockHammer). The adversarial builder keeps the
+// dependency inverted so this package needs no mitigation import.
+type Throttler interface {
+	// CollidingRows searches up to max rows (≠ target) whose estimator
+	// slots overlap target's in the given bank, i.e. activating them
+	// inflates target's estimate.
+	CollidingRows(globalBank int, targetRow uint32, max int) []uint32
+}
+
+// NewBlockHammerAdversary builds the Figure 10(c) pattern: it hammers rows
+// that collide (in the scheme's counting Bloom filters) with benignHotRow,
+// activating each just enough to push the shared counters past the
+// blacklist threshold so the benign row gets throttled. When the deployed
+// scheme exposes no collision oracle (i.e. it is not BlockHammer), the
+// pattern degrades into a benign-looking multi-row walk — exactly how the
+// paper's adversarial pattern behaves against non-throttling schemes.
+func NewBlockHammerAdversary(mapper *mc.AddressMapper, channel, bank int, benignHotRow int, scheme interface{}) trace.Generator {
+	loc := mc.Location{Channel: channel, Bank: bank, Row: benignHotRow}
+	globalBank := mapper.Map(mapper.Compose(loc)).GlobalBank
+	var rows []int
+	if th, ok := scheme.(Throttler); ok {
+		for _, r := range th.CollidingRows(globalBank, uint32(benignHotRow), 8) {
+			rows = append(rows, int(r))
+		}
+	}
+	if len(rows) == 0 {
+		// Fallback walk near (but not adjacent to) the benign row.
+		for i := 0; i < 8; i++ {
+			rows = append(rows, (benignHotRow+64+8*i)%mapper.Params().Rows)
+		}
+	}
+	return NewRowList("bh-adversarial", mapper, channel, bank, rows)
+}

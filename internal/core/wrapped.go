@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"mithril/internal/streaming"
+)
+
+// WrappedTable is the hardware-faithful Counter-based Summary table of
+// Section IV-E: counters are fixed-width wrapping values (Wrap16) compared
+// with modular arithmetic instead of unbounded integers. It is correct as
+// long as the table spread stays below 2^15 — which Theorem 1 guarantees
+// when the counter CAM is sized from the bound M — and is property-tested
+// against the unbounded reference implementation.
+//
+// Like the real CAM pair, every slot always holds a value: the table boots
+// with all counters at zero and invalid addresses, and the CbS replacement
+// rule overwrites the minimum slot. This is what removes Graphene's periodic
+// table reset (and its two-fold threshold degradation) and BlockHammer's
+// duplicated filter.
+type WrappedTable struct {
+	keys   []uint32
+	counts []streaming.Wrap16
+	valid  []bool // address CAM holds a real row (vs. boot-time garbage)
+	index  map[uint32]int
+}
+
+// NewWrappedTable builds a wrapping-counter table with capacity entries.
+func NewWrappedTable(capacity int) *WrappedTable {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("core: WrappedTable capacity must be positive, got %d", capacity))
+	}
+	return &WrappedTable{
+		keys:   make([]uint32, capacity),
+		counts: make([]streaming.Wrap16, capacity),
+		valid:  make([]bool, capacity),
+		index:  make(map[uint32]int, capacity),
+	}
+}
+
+func (w *WrappedTable) minSlot() int {
+	best := 0
+	for slot := 1; slot < len(w.counts); slot++ {
+		if streaming.WrapLess(w.counts[slot], w.counts[best]) {
+			best = slot
+		}
+	}
+	return best
+}
+
+func (w *WrappedTable) maxSlot() int {
+	best := 0
+	for slot := 1; slot < len(w.counts); slot++ {
+		if streaming.WrapLess(w.counts[best], w.counts[slot]) {
+			best = slot
+		}
+	}
+	return best
+}
+
+// Observe implements the CbS update with wrapping counters: increment on
+// hit, otherwise overwrite the MinPtr slot's address and increment it.
+func (w *WrappedTable) Observe(key uint32) {
+	if slot, ok := w.index[key]; ok {
+		w.counts[slot] = streaming.WrapAdd(w.counts[slot], 1)
+		return
+	}
+	slot := w.minSlot()
+	if w.valid[slot] {
+		delete(w.index, w.keys[slot])
+	}
+	w.keys[slot] = key
+	w.valid[slot] = true
+	w.counts[slot] = streaming.WrapAdd(w.counts[slot], 1)
+	w.index[key] = slot
+}
+
+// SelectMax performs the RFM step: returns the MaxPtr key and lowers its
+// counter to the MinPtr value. ok is false while the max slot still holds
+// boot-time garbage (nothing worth refreshing).
+func (w *WrappedTable) SelectMax() (key uint32, ok bool) {
+	maxSlot := w.maxSlot()
+	if !w.valid[maxSlot] {
+		return 0, false
+	}
+	w.counts[maxSlot] = w.counts[w.minSlot()]
+	return w.keys[maxSlot], true
+}
+
+// Spread reports MaxPtr−MinPtr as a modular distance.
+func (w *WrappedTable) Spread() uint64 {
+	return uint64(streaming.WrapDiff(w.counts[w.minSlot()], w.counts[w.maxSlot()]))
+}
+
+// Contains reports whether key is on-table.
+func (w *WrappedTable) Contains(key uint32) bool {
+	_, ok := w.index[key]
+	return ok
+}
+
+// RelativeCount reports the modular distance of key's counter above the
+// table minimum (the quantity Mithril actually compares); ok is false for
+// off-table keys.
+func (w *WrappedTable) RelativeCount(key uint32) (uint64, bool) {
+	slot, ok := w.index[key]
+	if !ok {
+		return 0, false
+	}
+	return uint64(streaming.WrapDiff(w.counts[w.minSlot()], w.counts[slot])), true
+}
+
+// Len reports the number of valid entries.
+func (w *WrappedTable) Len() int { return len(w.index) }
+
+// Cap reports the table capacity.
+func (w *WrappedTable) Cap() int { return len(w.counts) }

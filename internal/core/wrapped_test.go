@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"mithril/internal/streaming"
+)
+
+func TestWrappedTableMatchesReferenceExactly(t *testing.T) {
+	// Both tables use first-min / first-max scan order, so with identical
+	// input they must agree on keys and relative counts at every step.
+	const capacity = 8
+	w := NewWrappedTable(capacity)
+	c := streaming.NewCbS(capacity)
+	r := streaming.NewRand(17)
+	for i := 0; i < 30000; i++ {
+		if i%64 == 63 {
+			wk, wok := w.SelectMax()
+			ck, cok := c.DecrementMaxToMin()
+			if wok != cok || (wok && wk != ck) {
+				t.Fatalf("step %d: RFM selection diverged (%d,%v) vs (%d,%v)", i, wk, wok, ck, cok)
+			}
+			continue
+		}
+		key := uint32(r.Intn(20))
+		w.Observe(key)
+		c.Observe(key)
+		if w.Spread() != c.Spread() {
+			t.Fatalf("step %d: spread diverged %d vs %d", i, w.Spread(), c.Spread())
+		}
+		if rel, ok := w.RelativeCount(key); ok {
+			if want := c.Estimate(key) - c.Min(); rel != want {
+				t.Fatalf("step %d: relative count of %d = %d, want %d", i, key, rel, want)
+			}
+		} else if c.Contains(key) {
+			t.Fatalf("step %d: key %d on reference but not wrapped table", i, key)
+		}
+	}
+}
+
+func TestWrappedTableSurvivesCounterWraparound(t *testing.T) {
+	// Drive the absolute counts far past 2^16 while RFM decrements keep the
+	// spread bounded; modular comparison must keep producing the same
+	// relative view as the unbounded reference (Section IV-E's claim).
+	const capacity = 4
+	w := NewWrappedTable(capacity)
+	c := streaming.NewCbS(capacity)
+	keys := []uint32{1, 2, 3, 4}
+	for i := 0; i < 300000; i++ { // counts reach ~75K each, well past 65535
+		k := keys[i%len(keys)]
+		w.Observe(k)
+		c.Observe(k)
+		if i%128 == 127 {
+			w.SelectMax()
+			c.DecrementMaxToMin()
+		}
+		if i%1000 == 0 {
+			if w.Spread() != c.Spread() {
+				t.Fatalf("step %d: spread diverged %d vs %d", i, w.Spread(), c.Spread())
+			}
+		}
+	}
+	// Verify per-key relative counts after the wrap.
+	for _, k := range keys {
+		rel, ok := w.RelativeCount(k)
+		if !ok {
+			t.Fatalf("key %d fell off the wrapped table", k)
+		}
+		if want := c.Estimate(k) - c.Min(); rel != want {
+			t.Fatalf("key %d: relative %d, want %d", k, rel, want)
+		}
+	}
+}
+
+func TestWrappedTableBootState(t *testing.T) {
+	w := NewWrappedTable(4)
+	if w.Len() != 0 || w.Cap() != 4 {
+		t.Fatalf("boot state: Len=%d Cap=%d", w.Len(), w.Cap())
+	}
+	if _, ok := w.SelectMax(); ok {
+		t.Fatal("SelectMax on boot-time garbage should report !ok")
+	}
+	if w.Spread() != 0 {
+		t.Fatal("boot spread should be 0")
+	}
+	w.Observe(9)
+	if !w.Contains(9) || w.Len() != 1 {
+		t.Fatal("first observation should create a valid entry")
+	}
+	if rel, ok := w.RelativeCount(9); !ok || rel != 1 {
+		t.Fatalf("RelativeCount(9) = (%d, %v), want (1, true)", rel, ok)
+	}
+	if _, ok := w.RelativeCount(1234); ok {
+		t.Fatal("off-table RelativeCount should report !ok")
+	}
+}
+
+func TestWrappedTablePanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWrappedTable(0) should panic")
+		}
+	}()
+	NewWrappedTable(0)
+}
+
+func TestWrappedTableReplacementRule(t *testing.T) {
+	w := NewWrappedTable(2)
+	for i := 0; i < 5; i++ {
+		w.Observe(1)
+	}
+	w.Observe(2)
+	w.Observe(3) // replaces key 2 (the min), inherits min+1 = 2
+	if w.Contains(2) {
+		t.Fatal("min entry should have been replaced")
+	}
+	rel, ok := w.RelativeCount(3)
+	if !ok {
+		t.Fatal("key 3 should be on-table")
+	}
+	// Table: {1: 5, 3: 2}; min = 2, so relative(3) = 0, spread = 3.
+	if rel != 0 || w.Spread() != 3 {
+		t.Fatalf("relative(3)=%d spread=%d, want 0 and 3", rel, w.Spread())
+	}
+}

@@ -1,0 +1,230 @@
+package cpu
+
+import (
+	"fmt"
+
+	"mithril/internal/mc"
+	"mithril/internal/timing"
+)
+
+// CoreConfig parameterizes the simplified OOO core model.
+type CoreConfig struct {
+	// Width is the issue/retire width in instructions per cycle (4).
+	Width int
+	// ROB bounds how far fetch may run past the oldest outstanding miss.
+	ROB int
+	// MSHRs bounds concurrent outstanding misses (memory-level parallelism).
+	MSHRs int
+	// CyclePs is the core clock period in picoseconds (278 ≈ 3.6 GHz).
+	CyclePs timing.PicoSeconds
+	// LLCHitCycles is the extra latency a hit adds to the front-end; the
+	// OOO window hides most of it, so this is a small residual penalty.
+	LLCHitCycles int
+}
+
+// DefaultCoreConfig matches Table III (3.6 GHz 4-way OOO).
+func DefaultCoreConfig() CoreConfig {
+	return CoreConfig{Width: 4, ROB: 256, MSHRs: 16, CyclePs: 278, LLCHitCycles: 2}
+}
+
+// Validate reports a descriptive error for unusable configurations.
+func (c CoreConfig) Validate() error {
+	if c.Width <= 0 || c.ROB <= 0 || c.MSHRs <= 0 || c.CyclePs <= 0 {
+		return fmt.Errorf("cpu: config fields must be positive: %+v", c)
+	}
+	return nil
+}
+
+// Op is one decoded operation of the instruction stream.
+type Op struct {
+	Gap       int    // non-memory instructions preceding the access
+	Addr      uint64 // byte address
+	Write     bool
+	Serialize bool // drain outstanding misses first (dependent load)
+	Uncached  bool // bypass the LLC (flushed RowHammer access)
+}
+
+// Source yields the core's access stream (implemented by trace generators;
+// declared locally to keep the dependency direction cpu → trace optional).
+type Source interface {
+	Next() Op
+}
+
+type outstandingMiss struct {
+	reqID    uint64
+	instrIdx int64
+}
+
+// Core is one trace-driven out-of-order core.
+type Core struct {
+	id      int
+	cfg     CoreConfig
+	src     Source
+	llc     *LLC
+	enqueue func(*mc.Request) bool
+
+	fetchTime   timing.PicoSeconds // front-end virtual time
+	instrIssued int64
+	target      int64
+	outstanding []outstandingMiss
+	pending     *mc.Request // produced but not yet accepted by the MC
+	pendingIdx  int64
+	serialized  bool // next access requires an empty miss window
+	nextReqID   uint64
+	lastDone    timing.PicoSeconds
+	finished    bool
+
+	// Stats.
+	memAccesses uint64
+	llcMisses   uint64
+}
+
+// NewCore builds a core that executes target instructions from src,
+// submitting misses through enqueue (which reports acceptance).
+func NewCore(id int, cfg CoreConfig, src Source, llc *LLC, target int64, enqueue func(*mc.Request) bool) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if target <= 0 {
+		panic(fmt.Sprintf("cpu: target instructions must be positive, got %d", target))
+	}
+	return &Core{id: id, cfg: cfg, src: src, llc: llc, enqueue: enqueue, target: target,
+		nextReqID: uint64(id) << 48}
+}
+
+// ID returns the core id.
+func (c *Core) ID() int { return c.id }
+
+// Finished reports whether the core retired its instruction target and
+// drained all outstanding misses.
+func (c *Core) Finished() bool { return c.finished }
+
+// FinishTime reports when the core finished (meaningful once Finished).
+func (c *Core) FinishTime() timing.PicoSeconds {
+	t := c.fetchTime
+	if c.lastDone > t {
+		t = c.lastDone
+	}
+	return t
+}
+
+// InstructionsRetired reports progress toward the target.
+func (c *Core) InstructionsRetired() int64 {
+	n := c.instrIssued
+	if n > c.target {
+		n = c.target
+	}
+	return n
+}
+
+// IPC reports instructions per core cycle using the later of front-end time
+// and last miss completion — call after Finished for final numbers.
+func (c *Core) IPC() float64 {
+	t := c.FinishTime()
+	if t == 0 {
+		return 0
+	}
+	cycles := float64(t) / float64(c.cfg.CyclePs)
+	return float64(c.InstructionsRetired()) / cycles
+}
+
+// MemStats reports LLC accesses and misses issued by this core.
+func (c *Core) MemStats() (accesses, misses uint64) { return c.memAccesses, c.llcMisses }
+
+// Complete delivers a finished memory request back to the core.
+func (c *Core) Complete(reqID uint64, at timing.PicoSeconds) {
+	for i, m := range c.outstanding {
+		if m.reqID == reqID {
+			c.outstanding = append(c.outstanding[:i], c.outstanding[i+1:]...)
+			if at > c.lastDone {
+				c.lastDone = at
+			}
+			return
+		}
+	}
+	panic(fmt.Sprintf("cpu: completion for unknown request %d on core %d", reqID, c.id))
+}
+
+// maxTime is the sentinel for "waiting on a completion" in NextReady.
+const maxTime = timing.PicoSeconds(1) << 62
+
+// NextReady reports the earliest time this core could take another action
+// on its own, or a far-future sentinel when it is purely completion-driven
+// (MSHRs full, ROB blocked, or serialized behind a miss). The simulator
+// uses it to fast-forward idle stretches.
+func (c *Core) NextReady() timing.PicoSeconds {
+	if c.finished {
+		return maxTime
+	}
+	if c.pending != nil {
+		return 0 // needs an enqueue retry as soon as possible
+	}
+	if c.instrIssued >= c.target {
+		return maxTime // draining outstanding misses
+	}
+	if len(c.outstanding) >= c.cfg.MSHRs {
+		return maxTime
+	}
+	if c.serialized && len(c.outstanding) > 0 {
+		return maxTime
+	}
+	if len(c.outstanding) > 0 && c.instrIssued-c.outstanding[0].instrIdx > int64(c.cfg.ROB) {
+		return maxTime
+	}
+	return c.fetchTime
+}
+
+// Advance lets the core make progress up to time now: it consumes trace
+// entries, performs LLC lookups, and issues at most a bounded batch of
+// memory requests per call.
+func (c *Core) Advance(now timing.PicoSeconds) {
+	if c.finished {
+		return
+	}
+	// Retry a request the MC previously rejected.
+	if c.pending != nil {
+		if !c.enqueue(c.pending) {
+			return
+		}
+		c.outstanding = append(c.outstanding, outstandingMiss{reqID: c.pending.ID, instrIdx: c.pendingIdx})
+		c.pending = nil
+	}
+	for c.fetchTime <= now {
+		if c.instrIssued >= c.target {
+			if len(c.outstanding) == 0 {
+				c.finished = true
+			}
+			return
+		}
+		if len(c.outstanding) >= c.cfg.MSHRs {
+			return // MLP limit
+		}
+		if c.serialized && len(c.outstanding) > 0 {
+			return // dependent load: drain first
+		}
+		if len(c.outstanding) > 0 && c.instrIssued-c.outstanding[0].instrIdx > int64(c.cfg.ROB) {
+			return // ROB full behind the oldest miss
+		}
+		op := c.src.Next()
+		if op.Gap < 0 {
+			op.Gap = 0
+		}
+		c.serialized = op.Serialize
+		c.instrIssued += int64(op.Gap) + 1
+		c.fetchTime += timing.PicoSeconds((op.Gap+c.cfg.Width)/c.cfg.Width) * c.cfg.CyclePs
+		c.memAccesses++
+		if !op.Uncached && c.llc.Access(op.Addr) {
+			c.fetchTime += timing.PicoSeconds(c.cfg.LLCHitCycles) * c.cfg.CyclePs
+			continue
+		}
+		c.llcMisses++
+		c.nextReqID++
+		req := &mc.Request{ID: c.nextReqID, CoreID: c.id, Addr: op.Addr, Write: op.Write, Arrive: c.fetchTime}
+		if !c.enqueue(req) {
+			c.pending = req
+			c.pendingIdx = c.instrIssued
+			return
+		}
+		c.outstanding = append(c.outstanding, outstandingMiss{reqID: req.ID, instrIdx: c.instrIssued})
+	}
+}

@@ -1,0 +1,78 @@
+// Package cpu is the trace-driven processor model: a shared set-associative
+// last-level cache and simplified out-of-order cores whose memory-level
+// parallelism is bounded by MSHRs and a reorder-buffer window — the standard
+// trace-simulation substitute for the paper's McSimA+ cores (Table III:
+// 16 × 4-way OOO at 3.6 GHz, 16 MB LLC).
+package cpu
+
+import "fmt"
+
+// LLC is a shared set-associative last-level cache with LRU replacement.
+type LLC struct {
+	sets     int
+	ways     int
+	lineBits uint
+	tags     [][]uint64 // per set, LRU-ordered: index 0 = MRU
+	valid    [][]bool
+
+	hits   uint64
+	misses uint64
+}
+
+// NewLLC builds a cache of capacityBytes with the given associativity and
+// 64-byte lines. Capacity must divide evenly into sets.
+func NewLLC(capacityBytes, ways int) *LLC {
+	const line = 64
+	if capacityBytes <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("cpu: invalid LLC geometry %d/%d", capacityBytes, ways))
+	}
+	sets := capacityBytes / line / ways
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cpu: LLC sets = %d must be a positive power of two", sets))
+	}
+	l := &LLC{sets: sets, ways: ways, lineBits: 6}
+	l.tags = make([][]uint64, sets)
+	l.valid = make([][]bool, sets)
+	for i := range l.tags {
+		l.tags[i] = make([]uint64, ways)
+		l.valid[i] = make([]bool, ways)
+	}
+	return l
+}
+
+// Access looks up addr, updating LRU state and allocating on miss
+// (write-allocate for stores). It reports whether the access hit.
+func (l *LLC) Access(addr uint64) bool {
+	line := addr >> l.lineBits
+	set := int(line) & (l.sets - 1)
+	tag := line / uint64(l.sets)
+	tags, valid := l.tags[set], l.valid[set]
+	for w := 0; w < l.ways; w++ {
+		if valid[w] && tags[w] == tag {
+			// Move to MRU.
+			copy(tags[1:w+1], tags[:w])
+			copy(valid[1:w+1], valid[:w])
+			tags[0], valid[0] = tag, true
+			l.hits++
+			return true
+		}
+	}
+	// Miss: evict LRU (last way).
+	copy(tags[1:], tags[:l.ways-1])
+	copy(valid[1:], valid[:l.ways-1])
+	tags[0], valid[0] = tag, true
+	l.misses++
+	return false
+}
+
+// Stats reports hit/miss counters.
+func (l *LLC) Stats() (hits, misses uint64) { return l.hits, l.misses }
+
+// HitRate reports the fraction of accesses that hit (0 when idle).
+func (l *LLC) HitRate() float64 {
+	total := l.hits + l.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(l.hits) / float64(total)
+}

@@ -1,0 +1,199 @@
+package dram
+
+import (
+	"fmt"
+
+	"mithril/internal/rh"
+	"mithril/internal/timing"
+)
+
+// Device models a full DRAM subsystem: Channels × Ranks × Banks banks, each
+// with timing state and a RowHammer checker, plus per-rank auto-refresh
+// sweep bookkeeping. Banks are addressed by a global index
+// ((channel·Ranks + rank)·Banks + bank).
+type Device struct {
+	p       timing.Params
+	flipTH  int
+	weights []float64
+
+	banks    []*Bank
+	checkers []*rh.Checker
+	ranks    []*rankTracker
+	refGroup []int // per rank: next refresh group to sweep
+}
+
+// NewDevice builds the device for the given parameters and fault model.
+// weights nil selects the double-sided disturbance model.
+func NewDevice(p timing.Params, flipTH int, weights []float64) *Device {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	nBanks := p.TotalBanks()
+	nRanks := p.Channels * p.Ranks
+	d := &Device{
+		p:        p,
+		flipTH:   flipTH,
+		weights:  weights,
+		banks:    make([]*Bank, nBanks),
+		checkers: make([]*rh.Checker, nBanks),
+		ranks:    make([]*rankTracker, nRanks),
+		refGroup: make([]int, nRanks),
+	}
+	for i := range d.banks {
+		d.banks[i] = NewBank(p)
+		d.checkers[i] = rh.NewChecker(p.Rows, flipTH, weights)
+	}
+	for i := range d.ranks {
+		d.ranks[i] = &rankTracker{p: p}
+	}
+	return d
+}
+
+// Params returns the device timing parameters.
+func (d *Device) Params() timing.Params { return d.p }
+
+// NumBanks reports the number of banks across the device.
+func (d *Device) NumBanks() int { return len(d.banks) }
+
+// Bank returns the bank at the given global index.
+func (d *Device) Bank(global int) *Bank { return d.banks[global] }
+
+// Checker exposes a bank's RowHammer checker.
+func (d *Device) Checker(global int) *rh.Checker { return d.checkers[global] }
+
+// rankOf maps a global bank index to its rank tracker index.
+func (d *Device) rankOf(global int) int { return global / d.p.Banks }
+
+// Access serves one column access on a bank, enforcing bank and rank timing
+// and feeding the fault model when an ACT is issued. It reports whether an
+// ACT was issued (a row activation — the RowHammer- and RAA-relevant event)
+// and the data completion time.
+func (d *Device) Access(global, row int, write bool, now timing.PicoSeconds) (activated bool, dataReadyAt timing.PicoSeconds) {
+	if global < 0 || global >= len(d.banks) {
+		panic(fmt.Sprintf("dram: bank %d out of range (%d banks)", global, len(d.banks)))
+	}
+	rank := d.ranks[d.rankOf(global)]
+	activated, actAt, dataAt := d.banks[global].Access(now, row, write, rank.ACTReadyAt())
+	if activated {
+		rank.RecordACT(actAt)
+		d.checkers[global].OnActivate(row, actAt)
+	}
+	return activated, dataAt
+}
+
+// ActivateOnly issues a bare ACT+PRE on a bank (used by attack replay and
+// by ARR victim refreshes modelled as row activations). It returns the
+// completion time of the row cycle.
+func (d *Device) ActivateOnly(global, row int, now timing.PicoSeconds) timing.PicoSeconds {
+	rank := d.ranks[d.rankOf(global)]
+	b := d.banks[global]
+	activated, actAt, _ := b.Access(now, row, false, rank.ACTReadyAt())
+	if activated {
+		rank.RecordACT(actAt)
+		d.checkers[global].OnActivate(row, actAt)
+	}
+	b.Precharge(actAt)
+	return actAt + d.p.TRC
+}
+
+// RowsPerRefreshGroup is the number of rows swept by one REF command.
+func (d *Device) RowsPerRefreshGroup() int {
+	n := d.p.Rows / d.p.RefreshGroups
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// IssueREF executes one auto-refresh on every bank of the rank: the banks
+// are occupied for tRFC and the next refresh group's rows are restored
+// (resetting their RowHammer disturbance).
+func (d *Device) IssueREF(rankIdx int, now timing.PicoSeconds) timing.PicoSeconds {
+	if rankIdx < 0 || rankIdx >= len(d.ranks) {
+		panic(fmt.Sprintf("dram: rank %d out of range", rankIdx))
+	}
+	group := d.refGroup[rankIdx]
+	d.refGroup[rankIdx] = (group + 1) % d.p.RefreshGroups
+	rows := d.RowsPerRefreshGroup()
+	first := group * rows
+	var end timing.PicoSeconds
+	for b := rankIdx * d.p.Banks; b < (rankIdx+1)*d.p.Banks; b++ {
+		e := d.banks[b].StartMaintenance(now, d.p.TRFC, MaintREF)
+		if e > end {
+			end = e
+		}
+		for r := first; r < first+rows && r < d.p.Rows; r++ {
+			d.checkers[b].OnRefresh(r)
+		}
+	}
+	return end
+}
+
+// IssueRFM opens an RFM maintenance window of tRFM on one bank and returns
+// its end time. Victim refreshes performed inside the window are applied
+// with PreventiveRefresh.
+func (d *Device) IssueRFM(global int, now timing.PicoSeconds) timing.PicoSeconds {
+	return d.banks[global].StartMaintenance(now, d.p.TRFM, MaintRFM)
+}
+
+// IssueARR opens an ARR-style maintenance window long enough to refresh n
+// victim rows (tRC per row) on one bank — the remedy of the non-RFM
+// schemes (Graphene, TWiCe, CBT, PARA).
+func (d *Device) IssueARR(global, nRows int, now timing.PicoSeconds) timing.PicoSeconds {
+	if nRows < 1 {
+		nRows = 1
+	}
+	return d.banks[global].StartMaintenance(now, timing.PicoSeconds(nRows)*d.p.TRC, MaintARR)
+}
+
+// PreventiveRefresh restores the given victim rows on a bank (inside a
+// maintenance window that the caller already opened), resetting their
+// disturbance. Out-of-range rows (blast radius past the bank edge) are
+// ignored, matching Checker semantics.
+func (d *Device) PreventiveRefresh(global int, rows []uint32) {
+	ck := d.checkers[global]
+	n := 0
+	for _, r := range rows {
+		if int(r) < d.p.Rows {
+			ck.OnRefresh(int(r))
+			n++
+		}
+	}
+	d.banks[global].NotePreventiveRows(n)
+}
+
+// TotalStats aggregates bank statistics across the device.
+func (d *Device) TotalStats() BankStats {
+	var t BankStats
+	for _, b := range d.banks {
+		s := b.Stats()
+		t.ACTs += s.ACTs
+		t.Reads += s.Reads
+		t.Writes += s.Writes
+		t.RowHits += s.RowHits
+		t.RowMisses += s.RowMisses
+		t.RowConflicts += s.RowConflicts
+		t.AutoRefreshes += s.AutoRefreshes
+		t.RFMs += s.RFMs
+		t.PreventiveRows += s.PreventiveRows
+		t.MaintenanceTime += s.MaintenanceTime
+	}
+	return t
+}
+
+// SafetyReport aggregates the fault checkers: total flips and the worst
+// disturbance margin across banks.
+func (d *Device) SafetyReport() rh.Report {
+	worst := rh.Report{FlipTH: d.flipTH, MarginPercent: 100}
+	for _, ck := range d.checkers {
+		r := ck.Report()
+		worst.Flips += r.Flips
+		worst.ACTs += r.ACTs
+		worst.Refreshes += r.Refreshes
+		if r.MaxDisturbance > worst.MaxDisturbance {
+			worst.MaxDisturbance = r.MaxDisturbance
+			worst.MarginPercent = r.MarginPercent
+		}
+	}
+	return worst
+}

@@ -1,0 +1,88 @@
+// Package energy is the dynamic-energy accounting model: per-event energies
+// for ACT(+PRE), column accesses, auto-refresh, preventive victim refreshes,
+// and mode-register reads, computed from the device and controller counters.
+// Absolute joules are calibrated only loosely (datasheet-order numbers); the
+// paper's Figures 7/10(d)/11(c) compare *relative* dynamic energy, which
+// depends on event ratios, not absolute constants.
+package energy
+
+import (
+	"fmt"
+
+	"mithril/internal/dram"
+	"mithril/internal/mc"
+)
+
+// Params holds per-event energies in nanojoules.
+type Params struct {
+	ACT           float64 // one ACT+PRE row cycle
+	Read          float64 // one column read burst
+	Write         float64 // one column write burst
+	RefreshedRow  float64 // one row restored during REF (per row)
+	PreventiveRow float64 // one victim row refreshed by a mitigation
+	MRR           float64 // one mode-register read (Mithril+)
+	RowsPerREF    int     // rows swept per REF command per bank
+}
+
+// DefaultParams returns DDR5-magnitude constants.
+func DefaultParams() Params {
+	return Params{
+		ACT:           2.0,
+		Read:          1.2,
+		Write:         1.3,
+		RefreshedRow:  2.0,
+		PreventiveRow: 2.0,
+		MRR:           0.2,
+		RowsPerREF:    8,
+	}
+}
+
+// Breakdown is the dynamic energy by component, in nanojoules.
+type Breakdown struct {
+	ACT        float64
+	ReadWrite  float64
+	Refresh    float64
+	Preventive float64
+	MRR        float64
+}
+
+// Total sums the components.
+func (b Breakdown) Total() float64 {
+	return b.ACT + b.ReadWrite + b.Refresh + b.Preventive + b.MRR
+}
+
+// Dynamic sums the workload-proportional components the paper counts for
+// its overhead metric ("the number of ACTs, PREs, and executed preventive
+// refreshes", Section VI-A) — auto-refresh background energy scales with
+// runtime, not work, and is excluded.
+func (b Breakdown) Dynamic() float64 {
+	return b.ACT + b.ReadWrite + b.Preventive + b.MRR
+}
+
+// String renders the breakdown.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("total %.1f nJ (ACT %.1f, RW %.1f, REF %.1f, preventive %.1f, MRR %.1f)",
+		b.Total(), b.ACT, b.ReadWrite, b.Refresh, b.Preventive, b.MRR)
+}
+
+// Compute derives the breakdown from aggregated device and controller
+// counters.
+func Compute(dev dram.BankStats, mcs mc.Stats, p Params) Breakdown {
+	return Breakdown{
+		ACT:        float64(dev.ACTs) * p.ACT,
+		ReadWrite:  float64(dev.Reads)*p.Read + float64(dev.Writes)*p.Write,
+		Refresh:    float64(dev.AutoRefreshes) * float64(p.RowsPerREF) * p.RefreshedRow,
+		Preventive: float64(dev.PreventiveRows) * p.PreventiveRow,
+		MRR:        float64(mcs.MRRReads) * p.MRR,
+	}
+}
+
+// OverheadPercent reports (with − baseline)/baseline × 100 of dynamic
+// energy — the y-axis of Figures 7, 10(d) and 11(c).
+func OverheadPercent(with, baseline Breakdown) float64 {
+	base := baseline.Dynamic()
+	if base == 0 {
+		return 0
+	}
+	return 100 * (with.Dynamic() - base) / base
+}

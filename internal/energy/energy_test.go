@@ -1,0 +1,56 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"mithril/internal/dram"
+	"mithril/internal/mc"
+)
+
+func TestComputeBreakdown(t *testing.T) {
+	p := DefaultParams()
+	dev := dram.BankStats{ACTs: 100, Reads: 200, Writes: 50, AutoRefreshes: 10, PreventiveRows: 20}
+	mcs := mc.Stats{MRRReads: 5}
+	b := Compute(dev, mcs, p)
+	if b.ACT != 100*p.ACT {
+		t.Errorf("ACT = %v", b.ACT)
+	}
+	if b.ReadWrite != 200*p.Read+50*p.Write {
+		t.Errorf("RW = %v", b.ReadWrite)
+	}
+	if b.Refresh != 10*float64(p.RowsPerREF)*p.RefreshedRow {
+		t.Errorf("Refresh = %v", b.Refresh)
+	}
+	if b.Preventive != 20*p.PreventiveRow {
+		t.Errorf("Preventive = %v", b.Preventive)
+	}
+	if b.MRR != 5*p.MRR {
+		t.Errorf("MRR = %v", b.MRR)
+	}
+	if math.Abs(b.Total()-(b.ACT+b.ReadWrite+b.Refresh+b.Preventive+b.MRR)) > 1e-9 {
+		t.Error("Total mismatch")
+	}
+	if b.Dynamic() >= b.Total() {
+		t.Error("Dynamic must exclude refresh background energy")
+	}
+	if b.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestOverheadPercent(t *testing.T) {
+	base := Breakdown{ACT: 100, ReadWrite: 100}
+	with := Breakdown{ACT: 100, ReadWrite: 100, Preventive: 10}
+	if got := OverheadPercent(with, base); got != 5 {
+		t.Fatalf("overhead = %v%%, want 5%%", got)
+	}
+	// Refresh differences must not leak into the overhead metric.
+	with.Refresh = 1e9
+	if got := OverheadPercent(with, base); got != 5 {
+		t.Fatalf("refresh leaked into overhead: %v%%", got)
+	}
+	if got := OverheadPercent(with, Breakdown{}); got != 0 {
+		t.Fatalf("zero baseline should yield 0, got %v", got)
+	}
+}

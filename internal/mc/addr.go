@@ -1,0 +1,102 @@
+// Package mc is the memory-controller model: physical address mapping,
+// per-channel request queues, scheduling policies (FCFS, FR-FCFS, BLISS),
+// page policies (open, closed, minimalist-open), the RAA counters and RFM
+// issue logic of Figure 1, ARR injection for MC-side mitigations, and the
+// throttling/skip hooks that BlockHammer and Mithril+ need.
+package mc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mithril/internal/timing"
+)
+
+// Location is a fully decoded DRAM coordinate.
+type Location struct {
+	Channel int
+	Rank    int
+	Bank    int // bank index within the rank
+	Row     int
+	Column  int
+	// GlobalBank is the device-wide bank index used by dram.Device.
+	GlobalBank int
+}
+
+// AddressMapper translates between physical byte addresses and DRAM
+// coordinates. The layout (from LSB): cache-line offset, channel, column,
+// bank, rank, row — sequential cache lines interleave across channels, then
+// walk a row, preserving row-buffer locality for streaming access while
+// spreading load over banks at row granularity.
+type AddressMapper struct {
+	p timing.Params
+
+	lineBits, chBits, colBits, bankBits, rankBits, rowBits int
+}
+
+// LineSize is the cache line (and DRAM access) granularity in bytes.
+const LineSize = 64
+
+// NewAddressMapper builds the mapper for a parameter set. Organization
+// fields must be powers of two.
+func NewAddressMapper(p timing.Params) *AddressMapper {
+	m := &AddressMapper{p: p, lineBits: bits.TrailingZeros(uint(LineSize))}
+	for _, f := range []struct {
+		name string
+		v    int
+		dst  *int
+	}{
+		{"Channels", p.Channels, &m.chBits},
+		{"ColumnsPerRow", p.ColumnsPerRow, &m.colBits},
+		{"Banks", p.Banks, &m.bankBits},
+		{"Ranks", p.Ranks, &m.rankBits},
+		{"Rows", p.Rows, &m.rowBits},
+	} {
+		if f.v&(f.v-1) != 0 {
+			panic(fmt.Sprintf("mc: %s = %d must be a power of two", f.name, f.v))
+		}
+		*f.dst = bits.TrailingZeros(uint(f.v))
+	}
+	return m
+}
+
+// Map decodes a physical byte address.
+func (m *AddressMapper) Map(addr uint64) Location {
+	a := addr >> uint(m.lineBits)
+	ch := int(a & (1<<uint(m.chBits) - 1))
+	a >>= uint(m.chBits)
+	col := int(a & (1<<uint(m.colBits) - 1))
+	a >>= uint(m.colBits)
+	bank := int(a & (1<<uint(m.bankBits) - 1))
+	a >>= uint(m.bankBits)
+	rank := int(a & (1<<uint(m.rankBits) - 1))
+	a >>= uint(m.rankBits)
+	row := int(a & (1<<uint(m.rowBits) - 1))
+	loc := Location{Channel: ch, Rank: rank, Bank: bank, Row: row, Column: col}
+	loc.GlobalBank = (ch*m.p.Ranks+rank)*m.p.Banks + bank
+	return loc
+}
+
+// Compose builds the physical byte address for a coordinate (the inverse of
+// Map); attack generators use it to aim at specific rows.
+func (m *AddressMapper) Compose(loc Location) uint64 {
+	a := uint64(loc.Row)
+	a = a<<uint(m.rankBits) | uint64(loc.Rank)
+	a = a<<uint(m.bankBits) | uint64(loc.Bank)
+	a = a<<uint(m.colBits) | uint64(loc.Column)
+	a = a<<uint(m.chBits) | uint64(loc.Channel)
+	return a << uint(m.lineBits)
+}
+
+// RowBytes is the number of bytes covered by one row across one channel.
+func (m *AddressMapper) RowBytes() int { return m.p.ColumnsPerRow * LineSize }
+
+// AddressSpace is the total number of bytes the mapper covers; addresses are
+// taken modulo this size.
+func (m *AddressMapper) AddressSpace() uint64 {
+	total := m.lineBits + m.chBits + m.colBits + m.bankBits + m.rankBits + m.rowBits
+	return 1 << uint(total)
+}
+
+// Params returns the mapper's parameter set.
+func (m *AddressMapper) Params() timing.Params { return m.p }

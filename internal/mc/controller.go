@@ -1,0 +1,373 @@
+package mc
+
+import (
+	"fmt"
+
+	"mithril/internal/dram"
+	"mithril/internal/timing"
+)
+
+// PagePolicy selects the row-buffer management policy.
+type PagePolicy int
+
+// Page policies.
+const (
+	// OpenPage leaves rows open until a conflict.
+	OpenPage PagePolicy = iota
+	// ClosedPage precharges after every access.
+	ClosedPage
+	// MinimalistOpen (Kaseridis et al., Table III) caps the number of
+	// consecutive row hits per activation (4) before precharging,
+	// balancing locality against fairness.
+	MinimalistOpen
+)
+
+// String names the policy.
+func (p PagePolicy) String() string {
+	switch p {
+	case OpenPage:
+		return "open"
+	case ClosedPage:
+		return "closed"
+	case MinimalistOpen:
+		return "minimalist-open"
+	default:
+		return "unknown"
+	}
+}
+
+// minimalistHitCap is the per-activation row-hit budget of minimalist-open.
+const minimalistHitCap = 4
+
+// Config configures the controller.
+type Config struct {
+	Scheduler  SchedulerKind
+	Policy     PagePolicy
+	Scheme     Scheme
+	QueueDepth int // per-channel request queue capacity
+}
+
+// Stats counts controller-level events.
+type Stats struct {
+	Served      uint64
+	RFMIssued   uint64
+	RFMSkipped  uint64 // Mithril+ MRR skips
+	MRRReads    uint64 // mode-register polls (Mithril+)
+	ARRWindows  uint64
+	ARRVictims  uint64
+	REFIssued   uint64
+	Rejected    uint64 // enqueue attempts against a full queue
+	ThrottleHit uint64 // requests delayed by PreACTDelay
+}
+
+type arrJob struct {
+	bank    int
+	victims []uint32
+}
+
+type channelCtl struct {
+	id         int
+	queue      []*Request
+	bliss      *blissState
+	nextREF    []timing.PicoSeconds // per rank in this channel
+	pendingARR []arrJob
+	hitStreak  map[int]int // global bank -> consecutive row hits
+}
+
+// Controller drives a dram.Device: request queues per channel, scheduling,
+// page policy, auto-refresh, and the RFM/ARR/throttle mitigation hooks.
+type Controller struct {
+	p        timing.Params
+	dev      *dram.Device
+	mapper   *AddressMapper
+	cfg      Config
+	channels []*channelCtl
+
+	raa    []int  // per global bank: rolling accumulated ACT counter
+	rfmDue []bool // per global bank: RAA reached RFMTH, ACTs blocked
+
+	complete func(req *Request, at timing.PicoSeconds)
+	stats    Stats
+}
+
+// NewController builds a controller over the device. complete is invoked
+// once per request with its data completion time.
+func NewController(dev *dram.Device, cfg Config, complete func(*Request, timing.PicoSeconds)) *Controller {
+	p := dev.Params()
+	if cfg.Scheme == nil {
+		cfg.Scheme = NoProtection{}
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if complete == nil {
+		complete = func(*Request, timing.PicoSeconds) {}
+	}
+	c := &Controller{
+		p:        p,
+		dev:      dev,
+		mapper:   NewAddressMapper(p),
+		cfg:      cfg,
+		raa:      make([]int, dev.NumBanks()),
+		rfmDue:   make([]bool, dev.NumBanks()),
+		complete: complete,
+	}
+	for ch := 0; ch < p.Channels; ch++ {
+		cc := &channelCtl{
+			id:        ch,
+			bliss:     newBlissState(),
+			nextREF:   make([]timing.PicoSeconds, p.Ranks),
+			hitStreak: make(map[int]int),
+		}
+		for r := range cc.nextREF {
+			// Stagger refreshes across ranks and channels.
+			cc.nextREF[r] = p.TREFI * timing.PicoSeconds(1+ch*p.Ranks+r) / timing.PicoSeconds(p.Channels*p.Ranks)
+		}
+		c.channels = append(c.channels, cc)
+	}
+	return c
+}
+
+// Mapper exposes the address mapper (shared with workload generators).
+func (c *Controller) Mapper() *AddressMapper { return c.mapper }
+
+// Device exposes the controlled DRAM device.
+func (c *Controller) Device() *dram.Device { return c.dev }
+
+// Stats returns a copy of the controller counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// QueueLen reports the current queue occupancy of a channel.
+func (c *Controller) QueueLen(channel int) int { return len(c.channels[channel].queue) }
+
+// Enqueue accepts a request into its channel queue; it reports false when
+// the queue is full (the core must retry).
+func (c *Controller) Enqueue(req *Request) bool {
+	req.Loc = c.mapper.Map(req.Addr)
+	cc := c.channels[req.Loc.Channel]
+	if len(cc.queue) >= c.cfg.QueueDepth {
+		c.stats.Rejected++
+		return false
+	}
+	cc.queue = append(cc.queue, req)
+	return true
+}
+
+// Tick advances every channel by one command slot at time now.
+func (c *Controller) Tick(now timing.PicoSeconds) {
+	for _, cc := range c.channels {
+		c.tickChannel(cc, now)
+	}
+}
+
+func (c *Controller) tickChannel(cc *channelCtl, now timing.PicoSeconds) {
+	// 1. Auto-refresh has absolute priority.
+	for r := range cc.nextREF {
+		if now >= cc.nextREF[r] {
+			rankIdx := cc.id*c.p.Ranks + r
+			c.dev.IssueREF(rankIdx, now)
+			cc.nextREF[r] += c.p.TREFI
+			c.stats.REFIssued++
+			return
+		}
+	}
+	// 2. Pending ARR maintenance (MC-side schemes).
+	for i, job := range cc.pendingARR {
+		if c.dev.Bank(job.bank).Available(now) {
+			c.dev.IssueARR(job.bank, len(job.victims), now)
+			c.dev.PreventiveRefresh(job.bank, job.victims)
+			c.stats.ARRWindows++
+			c.stats.ARRVictims += uint64(len(job.victims))
+			cc.pendingARR = append(cc.pendingARR[:i], cc.pendingARR[i+1:]...)
+			return
+		}
+	}
+	// 3. RFM issue (Figure 1 flow).
+	if c.cfg.Scheme.RFMCompatible() {
+		base := cc.id * c.p.Ranks * c.p.Banks
+		for g := base; g < base+c.p.Ranks*c.p.Banks; g++ {
+			if !c.rfmDue[g] {
+				continue
+			}
+			// Mithril+: poll the skip flag via MRR before issuing.
+			c.stats.MRRReads++
+			if c.cfg.Scheme.SkipRFM(g) {
+				c.raa[g] = 0
+				c.rfmDue[g] = false
+				c.stats.RFMSkipped++
+				continue // skip costs no command slot beyond the MRR
+			}
+			if !c.dev.Bank(g).Available(now) {
+				continue
+			}
+			c.dev.IssueRFM(g, now)
+			victims := c.cfg.Scheme.OnRFM(g, now)
+			if len(victims) > 0 {
+				c.dev.PreventiveRefresh(g, victims)
+			}
+			c.raa[g] = 0
+			c.rfmDue[g] = false
+			c.stats.RFMIssued++
+			return
+		}
+	}
+	// 4. Serve one request.
+	idx := pick(c.cfg.Scheduler, cc.queue, cc.bliss, now,
+		func(i int) bool { return c.ready(cc.queue[i], now) },
+		func(i int) bool {
+			r := cc.queue[i]
+			return c.dev.Bank(r.Loc.GlobalBank).OpenRow() == r.Loc.Row
+		})
+	if idx < 0 {
+		return
+	}
+	req := cc.queue[idx]
+	cc.queue = append(cc.queue[:idx], cc.queue[idx+1:]...)
+	c.serve(cc, req, now)
+}
+
+// ready reports whether a request can start its next command at now.
+func (c *Controller) ready(req *Request, now timing.PicoSeconds) bool {
+	g := req.Loc.GlobalBank
+	bank := c.dev.Bank(g)
+	if !bank.Available(now) || c.rfmDue[g] {
+		return false
+	}
+	if req.blocked > now {
+		return false
+	}
+	if bank.OpenRow() != req.Loc.Row {
+		// Needs an ACT: consult the throttle hook.
+		if until := c.cfg.Scheme.PreACTDelay(g, uint32(req.Loc.Row), req.CoreID, now); until > now {
+			req.blocked = until
+			c.stats.ThrottleHit++
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Controller) serve(cc *channelCtl, req *Request, now timing.PicoSeconds) {
+	g := req.Loc.GlobalBank
+	activated, dataAt := c.dev.Access(g, req.Loc.Row, req.Write, now)
+	if activated {
+		if c.cfg.Scheme.RFMCompatible() {
+			c.raa[g]++
+			if c.raa[g] >= c.cfg.Scheme.RFMTH() {
+				c.rfmDue[g] = true
+			}
+		}
+		if victims := c.cfg.Scheme.OnActivate(g, uint32(req.Loc.Row), req.CoreID, now); len(victims) > 0 {
+			cc.pendingARR = append(cc.pendingARR, arrJob{bank: g, victims: victims})
+		}
+		cc.hitStreak[g] = 0
+	} else {
+		cc.hitStreak[g]++
+	}
+	switch c.cfg.Policy {
+	case ClosedPage:
+		c.dev.Bank(g).Precharge(dataAt)
+	case MinimalistOpen:
+		if cc.hitStreak[g] >= minimalistHitCap-1 {
+			c.dev.Bank(g).Precharge(dataAt)
+			cc.hitStreak[g] = 0
+		}
+	}
+	if c.cfg.Scheduler == BLISS {
+		cc.bliss.recordServe(req.CoreID, now)
+	}
+	req.served = true
+	c.stats.Served++
+	c.complete(req, dataAt)
+}
+
+// RawActivate injects a bare activation (attack replay without a data
+// request); it updates RAA/mitigation state exactly like a served ACT.
+func (c *Controller) RawActivate(globalBank int, row int, now timing.PicoSeconds) timing.PicoSeconds {
+	if globalBank < 0 || globalBank >= c.dev.NumBanks() {
+		panic(fmt.Sprintf("mc: bank %d out of range", globalBank))
+	}
+	done := c.dev.ActivateOnly(globalBank, row, now)
+	if c.cfg.Scheme.RFMCompatible() {
+		c.raa[globalBank]++
+		if c.raa[globalBank] >= c.cfg.Scheme.RFMTH() {
+			c.rfmDue[globalBank] = true
+		}
+	}
+	ch := c.channels[globalBank/(c.p.Ranks*c.p.Banks)]
+	if victims := c.cfg.Scheme.OnActivate(globalBank, uint32(row), -1, now); len(victims) > 0 {
+		ch.pendingARR = append(ch.pendingARR, arrJob{bank: globalBank, victims: victims})
+	}
+	return done
+}
+
+// RFMDue reports whether a bank is blocked awaiting its RFM command.
+func (c *Controller) RFMDue(globalBank int) bool { return c.rfmDue[globalBank] }
+
+// RAACount reports a bank's rolling accumulated ACT counter.
+func (c *Controller) RAACount(globalBank int) int { return c.raa[globalBank] }
+
+// PendingWork reports whether any channel still holds queued requests or
+// pending maintenance.
+func (c *Controller) PendingWork() bool {
+	for _, cc := range c.channels {
+		if len(cc.queue) > 0 || len(cc.pendingARR) > 0 {
+			return true
+		}
+	}
+	for _, due := range c.rfmDue {
+		if due {
+			return true
+		}
+	}
+	return false
+}
+
+// NextRefresh reports the earliest scheduled auto-refresh across ranks —
+// the only time-driven controller event, used by the simulator's idle
+// fast-forward.
+func (c *Controller) NextRefresh() timing.PicoSeconds {
+	var next timing.PicoSeconds = 1 << 62
+	for _, cc := range c.channels {
+		for _, t := range cc.nextREF {
+			if t < next {
+				next = t
+			}
+		}
+	}
+	return next
+}
+
+// NextWork conservatively reports the earliest time any queued request or
+// pending maintenance might become actionable (a far-future sentinel when
+// the controller is idle). Throttle-blocked requests contribute their
+// release times, which lets the simulator fast-forward BlockHammer delays.
+func (c *Controller) NextWork(now timing.PicoSeconds) timing.PicoSeconds {
+	var next timing.PicoSeconds = 1 << 62
+	consider := func(t timing.PicoSeconds) {
+		if t < now {
+			t = now
+		}
+		if t < next {
+			next = t
+		}
+	}
+	for _, cc := range c.channels {
+		for _, job := range cc.pendingARR {
+			consider(c.dev.Bank(job.bank).BusyUntil())
+		}
+		for _, r := range cc.queue {
+			t := r.blocked
+			if bu := c.dev.Bank(r.Loc.GlobalBank).BusyUntil(); bu > t {
+				t = bu
+			}
+			consider(t)
+		}
+	}
+	for g, due := range c.rfmDue {
+		if due {
+			consider(c.dev.Bank(g).BusyUntil())
+		}
+	}
+	return next
+}

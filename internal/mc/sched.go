@@ -1,0 +1,120 @@
+package mc
+
+import "mithril/internal/timing"
+
+// Request is one memory transaction queued at the controller.
+type Request struct {
+	ID      uint64
+	CoreID  int
+	Addr    uint64
+	Write   bool
+	Loc     Location
+	Arrive  timing.PicoSeconds
+	served  bool
+	blocked timing.PicoSeconds // earliest serve time (throttling)
+}
+
+// SchedulerKind selects the request scheduling policy.
+type SchedulerKind int
+
+// Scheduling policies.
+const (
+	// FCFS serves strictly in arrival order.
+	FCFS SchedulerKind = iota
+	// FRFCFS prefers row hits, then the oldest request.
+	FRFCFS
+	// BLISS (Subramanian et al.): like FR-FCFS, but an application served
+	// four requests in a row is blacklisted for a clearing interval,
+	// bounding interference (Table III's scheduler).
+	BLISS
+)
+
+// String names the policy.
+func (k SchedulerKind) String() string {
+	switch k {
+	case FCFS:
+		return "FCFS"
+	case FRFCFS:
+		return "FR-FCFS"
+	case BLISS:
+		return "BLISS"
+	default:
+		return "unknown"
+	}
+}
+
+// blissState tracks BLISS's serve streak and blacklist per channel.
+type blissState struct {
+	lastCore  int
+	streak    int
+	blackTill map[int]timing.PicoSeconds
+}
+
+// blissStreakLimit and blissClearInterval follow the BLISS paper's default
+// configuration (4 consecutive requests; 10000 core cycles ≈ 2.8 µs at
+// 3.6 GHz).
+const (
+	blissStreakLimit   = 4
+	blissClearInterval = 2800 * timing.Nanosecond
+)
+
+func newBlissState() *blissState {
+	return &blissState{lastCore: -1, blackTill: make(map[int]timing.PicoSeconds)}
+}
+
+func (b *blissState) blacklisted(core int, now timing.PicoSeconds) bool {
+	return b.blackTill[core] > now
+}
+
+func (b *blissState) recordServe(core int, now timing.PicoSeconds) {
+	if core == b.lastCore {
+		b.streak++
+		if b.streak >= blissStreakLimit {
+			b.blackTill[core] = now + blissClearInterval
+			b.streak = 0
+		}
+		return
+	}
+	b.lastCore = core
+	b.streak = 1
+}
+
+// pick selects the next serveable request index from queue, or -1.
+// ready(i) reports whether request i can start at now (bank availability,
+// RFM-due blocking, throttle delays); rowHit(i) reports open-row locality.
+func pick(kind SchedulerKind, queue []*Request, bliss *blissState, now timing.PicoSeconds,
+	ready func(int) bool, rowHit func(int) bool) int {
+	best := -1
+	bestHit := false
+	bestWhite := false
+	for i, r := range queue {
+		if r.served || !ready(i) {
+			continue
+		}
+		switch kind {
+		case FCFS:
+			return i // queue is in arrival order
+		case FRFCFS:
+			hit := rowHit(i)
+			if best == -1 || (hit && !bestHit) {
+				best, bestHit = i, hit
+			}
+		case BLISS:
+			white := !bliss.blacklisted(r.CoreID, now)
+			hit := rowHit(i)
+			better := false
+			switch {
+			case best == -1:
+				better = true
+			case white != bestWhite:
+				better = white
+			case hit != bestHit:
+				better = hit
+			}
+			if better {
+				best, bestHit, bestWhite = i, hit, white
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,188 @@
+package mitigation
+
+import (
+	"mithril/internal/analysis"
+	"mithril/internal/mc"
+	"mithril/internal/streaming"
+	"mithril/internal/timing"
+)
+
+// BlockHammer (Yağlıkçı et al., HPCA 2021): dual time-interleaved counting
+// Bloom filters per bank estimate per-row ACT counts; rows whose estimate
+// reaches the blacklist threshold NBL are throttled so their ACT rate can
+// never reach FlipTH within tCBF:
+//
+//	tDelay = (tCBF − NBL·tRC) / (FlipTH − NBL)
+//
+// A thread-level escalation (RowBlocker-style) additionally throttles cores
+// that keep hammering blacklisted rows. Because the filters alias, an
+// attacker who activates rows sharing CBF slots with a benign hot row can
+// blacklist the *benign* row — the Figure 10(c) performance attack, exposed
+// here through the CollidingRows oracle.
+type BlockHammer struct {
+	opt      Options
+	nbl      uint64
+	tDelay   timing.PicoSeconds
+	filters  map[int]*streaming.DualCBF
+	nextACT  map[uint64]timing.PicoSeconds // (bank,row) -> earliest next ACT
+	coreBad  map[int]int                   // core -> blacklisted-ACT attempts
+	coreTill map[int]timing.PicoSeconds    // core -> thread throttle release
+	epoch    int
+
+	cbfCounters int
+	cbfHashes   int
+
+	blacklisted uint64 // blacklist events (stats)
+}
+
+var _ mc.Scheme = (*BlockHammer)(nil)
+
+// blockHammerThreadThreshold is the number of blacklisted-row activation
+// attempts after which a core is treated as an attacker thread.
+const blockHammerThreadThreshold = 64
+
+// NewBlockHammer configures the scheme from the paper's per-FlipTH
+// (CBF size, NBL) pairs (Section VI-A). The delay denominator uses
+// FlipTH/2 − NBL: a double-sided victim absorbs disturbance from two
+// aggressors, so each blacklisted row must stay below FlipTH/2 ACTs per
+// tCBF window (the paper notes NBL must be lower than FlipTH/2 for exactly
+// this reason).
+func NewBlockHammer(opt Options) *BlockHammer {
+	opt.normalize()
+	counters, nbl := analysis.BlockHammerConfigFor(opt.FlipTH)
+	tCBF := opt.Timing.TREFW
+	den := opt.FlipTH/2 - nbl
+	if den < 1 {
+		den = 1
+	}
+	delay := (tCBF - timing.PicoSeconds(nbl)*opt.Timing.TRC) / timing.PicoSeconds(den)
+	if delay < 0 {
+		delay = 0
+	}
+	return &BlockHammer{
+		opt:         opt,
+		nbl:         uint64(nbl),
+		tDelay:      delay,
+		filters:     make(map[int]*streaming.DualCBF),
+		nextACT:     make(map[uint64]timing.PicoSeconds),
+		coreBad:     make(map[int]int),
+		coreTill:    make(map[int]timing.PicoSeconds),
+		cbfCounters: counters,
+		cbfHashes:   4,
+	}
+}
+
+// NBL exposes the blacklist threshold.
+func (s *BlockHammer) NBL() uint64 { return s.nbl }
+
+// TDelay exposes the per-ACT throttle delay for blacklisted rows.
+func (s *BlockHammer) TDelay() timing.PicoSeconds { return s.tDelay }
+
+// BlacklistEvents reports how many ACTs hit a blacklisted row.
+func (s *BlockHammer) BlacklistEvents() uint64 { return s.blacklisted }
+
+// Name implements mc.Scheme.
+func (s *BlockHammer) Name() string { return "blockhammer" }
+
+// RFMCompatible implements mc.Scheme: BlockHammer is MC-side but issues no
+// RFM commands; the paper groups it with the interface-compatible schemes
+// because it needs no DRAM change at all.
+func (s *BlockHammer) RFMCompatible() bool { return false }
+
+// RFMTH implements mc.Scheme.
+func (s *BlockHammer) RFMTH() int { return 0 }
+
+func (s *BlockHammer) filter(bank int) *streaming.DualCBF {
+	f, ok := s.filters[bank]
+	if !ok {
+		// Half-epoch tCBF/2 expressed in per-bank ACT capacity.
+		half := s.opt.Timing.ACTsPerREFW() / 2
+		if half < 1 {
+			half = 1
+		}
+		f = streaming.NewDualCBF(s.cbfHashes, s.cbfCounters, half)
+		s.filters[bank] = f
+	}
+	return f
+}
+
+func rowKey(bank int, row uint32) uint64 { return uint64(bank)<<32 | uint64(row) }
+
+// OnActivate implements mc.Scheme: feed the filters, arm the row throttle
+// when the estimate crosses NBL, and escalate repeat-offender threads.
+func (s *BlockHammer) OnActivate(bank int, row uint32, core int, now timing.PicoSeconds) []uint32 {
+	f := s.filter(bank)
+	f.Observe(row)
+	if f.Estimate(row) >= s.nbl {
+		s.blacklisted++
+		s.nextACT[rowKey(bank, row)] = now + s.tDelay
+		if core >= 0 {
+			s.coreBad[core]++
+			if s.coreBad[core] >= blockHammerThreadThreshold {
+				s.coreTill[core] = now + s.tDelay
+			}
+		}
+	}
+	return nil
+}
+
+// PreACTDelay implements mc.Scheme: blacklisted rows (and escalated
+// threads) wait out their release times.
+func (s *BlockHammer) PreACTDelay(bank int, row uint32, core int, now timing.PicoSeconds) timing.PicoSeconds {
+	until := s.nextACT[rowKey(bank, row)]
+	if core >= 0 {
+		if t := s.coreTill[core]; t > until {
+			until = t
+		}
+	}
+	if until > now {
+		return until
+	}
+	return 0
+}
+
+// OnRFM implements mc.Scheme.
+func (s *BlockHammer) OnRFM(int, timing.PicoSeconds) []uint32 { return nil }
+
+// SkipRFM implements mc.Scheme.
+func (s *BlockHammer) SkipRFM(int) bool { return false }
+
+// CollidingRows implements the attack.Throttler oracle: for each of the
+// target row's hash slots, find another row of the bank hashing to the same
+// slot in that filter row. Activating the returned rows NBL times inflates
+// every slot of the target, blacklisting it without touching it.
+func (s *BlockHammer) CollidingRows(bank int, target uint32, max int) []uint32 {
+	f := s.filter(bank)
+	_ = f
+	rows := make([]uint32, 0, max)
+	// Reconstruct slot indices with the same hashing the sketch uses.
+	targetSlots := s.slots(target)
+	for h := 0; h < s.cbfHashes && len(rows) < max; h++ {
+		for candidate := uint32(0); candidate < uint32(s.opt.Timing.Rows); candidate++ {
+			if candidate == target || absDiff(candidate, target) <= uint32(s.opt.BlastRadius) {
+				continue // don't hand the attacker rows that hammer the target directly
+			}
+			if s.slots(candidate)[h] == targetSlots[h] {
+				rows = append(rows, candidate)
+				break
+			}
+		}
+	}
+	return rows
+}
+
+func absDiff(a, b uint32) uint32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// slots mirrors streaming.CountMinSketch's hash layout (same seeds).
+func (s *BlockHammer) slots(row uint32) []uint64 {
+	out := make([]uint64, s.cbfHashes)
+	for i := 0; i < s.cbfHashes; i++ {
+		out[i] = streaming.SlotIndex(row, i, s.cbfCounters)
+	}
+	return out
+}

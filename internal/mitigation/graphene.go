@@ -1,0 +1,115 @@
+package mitigation
+
+import (
+	"mithril/internal/mc"
+	"mithril/internal/streaming"
+	"mithril/internal/timing"
+)
+
+// Graphene (Park et al., MICRO 2020): an MC-side CbS table per bank that
+// reactively refreshes a row's victims whenever its estimated count crosses
+// the next multiple of the predefined threshold T = FlipTH/4 (one halving
+// for the double-sided attack, one for the periodic table reset). The table
+// resets every half refresh window — the cost Mithril's wrapping counters
+// remove.
+type Graphene struct {
+	opt       Options
+	threshold uint64
+	nEntry    int
+	tables    map[int]streaming.Summary
+	nextLevel map[int]map[uint32]uint64 // bank -> row -> next trigger level
+	lastReset timing.PicoSeconds
+	resets    uint64
+	arrCount  uint64
+}
+
+var _ mc.Scheme = (*Graphene)(nil)
+
+// NewGraphene sizes the table per the original work: N = ⌈(S/2)/T⌉ entries
+// where S is the per-bank ACT capacity of one tREFW.
+func NewGraphene(opt Options) *Graphene {
+	opt.normalize()
+	t := uint64(opt.FlipTH / 4)
+	if t == 0 {
+		t = 1
+	}
+	s := opt.Timing.ACTsPerREFW()
+	n := (s/2 + int(t) - 1) / int(t)
+	if n < 1 {
+		n = 1
+	}
+	return &Graphene{
+		opt:       opt,
+		threshold: t,
+		nEntry:    n,
+		tables:    make(map[int]streaming.Summary),
+		nextLevel: make(map[int]map[uint32]uint64),
+	}
+}
+
+// Threshold exposes T (tests).
+func (s *Graphene) Threshold() uint64 { return s.threshold }
+
+// NEntry exposes the per-bank table size (tests, area model cross-check).
+func (s *Graphene) NEntry() int { return s.nEntry }
+
+// Resets exposes how many periodic resets have occurred.
+func (s *Graphene) Resets() uint64 { return s.resets }
+
+// Name implements mc.Scheme.
+func (s *Graphene) Name() string { return "graphene" }
+
+// RFMCompatible implements mc.Scheme.
+func (s *Graphene) RFMCompatible() bool { return false }
+
+// RFMTH implements mc.Scheme.
+func (s *Graphene) RFMTH() int { return 0 }
+
+func (s *Graphene) table(bank int) streaming.Summary {
+	t, ok := s.tables[bank]
+	if !ok {
+		t = streaming.NewSpaceSaving(s.nEntry)
+		s.tables[bank] = t
+	}
+	return t
+}
+
+// OnActivate implements mc.Scheme: CbS update plus reactive ARR trigger.
+func (s *Graphene) OnActivate(bank int, row uint32, core int, now timing.PicoSeconds) []uint32 {
+	// Periodic reset at every tREFW/2.
+	if now-s.lastReset >= s.opt.Timing.TREFW/2 {
+		for _, t := range s.tables {
+			t.Reset()
+		}
+		s.nextLevel = make(map[int]map[uint32]uint64)
+		s.lastReset = now
+		s.resets++
+	}
+	t := s.table(bank)
+	t.Observe(row)
+	est := t.Estimate(row)
+	levels := s.nextLevel[bank]
+	if levels == nil {
+		levels = make(map[uint32]uint64)
+		s.nextLevel[bank] = levels
+	}
+	next, ok := levels[row]
+	if !ok {
+		next = s.threshold
+	}
+	if est < next {
+		return nil
+	}
+	levels[row] = next + s.threshold
+	s.arrCount++
+	return victims(row, s.opt.BlastRadius)
+}
+
+// PreACTDelay implements mc.Scheme.
+func (s *Graphene) PreACTDelay(int, uint32, int, timing.PicoSeconds) timing.PicoSeconds { return 0 }
+
+// OnRFM implements mc.Scheme.
+func (s *Graphene) OnRFM(int, timing.PicoSeconds) []uint32 { return nil }
+
+// SkipRFM implements mc.Scheme.
+func (s *Graphene) SkipRFM(int) bool { return false }

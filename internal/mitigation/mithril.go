@@ -1,0 +1,137 @@
+package mitigation
+
+import (
+	"fmt"
+
+	"mithril/internal/analysis"
+	"mithril/internal/core"
+	"mithril/internal/mc"
+	"mithril/internal/timing"
+)
+
+// MithrilScheme adapts the per-bank core.Mithril modules to the controller
+// interface. Plain Mithril never asserts the MRR skip flag (the MC issues
+// every RFM; the DRAM may still skip the refresh internally under the
+// adaptive policy); MithrilPlus exposes the flag so the MC can elide the
+// RFM command entirely (Section V-B).
+type MithrilScheme struct {
+	opt     Options
+	cfg     core.Config
+	plus    bool
+	modules map[int]*core.Mithril
+}
+
+var _ mc.Scheme = (*MithrilScheme)(nil)
+
+// NewMithril configures Mithril for the option's FlipTH: RFMTH from the
+// paper's per-level choice (or the override), Nentry from Theorem 1/2.
+func NewMithril(opt Options) *MithrilScheme { return newMithril(opt, false) }
+
+// NewMithrilPlus configures Mithril+ (identical hardware plus the MRR skip
+// flag).
+func NewMithrilPlus(opt Options) *MithrilScheme { return newMithril(opt, true) }
+
+func newMithril(opt Options, plus bool) *MithrilScheme {
+	opt.normalize()
+	rfmTH := opt.RFMTH
+	if rfmTH <= 0 {
+		rfmTH = PaperRFMTH(opt.FlipTH)
+	}
+	blast := analysis.DoubleSidedBlast
+	if opt.BlastRadius >= 3 {
+		blast = analysis.NonAdjacentBlast
+	}
+	ac, ok := analysis.Configure(opt.Timing, opt.FlipTH, rfmTH, opt.AdTH, blast)
+	if !ok {
+		panic(fmt.Sprintf("mitigation: no feasible Mithril config for FlipTH=%d RFMTH=%d AdTH=%d",
+			opt.FlipTH, rfmTH, opt.AdTH))
+	}
+	return &MithrilScheme{
+		opt: opt,
+		cfg: core.Config{
+			NEntry:      ac.NEntry,
+			RFMTH:       rfmTH,
+			AdTH:        opt.AdTH,
+			BlastRadius: opt.BlastRadius,
+		},
+		plus:    plus,
+		modules: make(map[int]*core.Mithril),
+	}
+}
+
+// ModuleConfig exposes the per-bank module configuration.
+func (s *MithrilScheme) ModuleConfig() core.Config { return s.cfg }
+
+// TableKB reports the per-bank table size from the area model.
+func (s *MithrilScheme) TableKB() float64 {
+	kb, _ := analysis.MithrilTableKB(s.opt.Timing, s.opt.FlipTH, s.cfg.RFMTH, s.cfg.AdTH)
+	return kb
+}
+
+// ModuleStats aggregates the module counters across banks.
+func (s *MithrilScheme) ModuleStats() core.Stats {
+	var total core.Stats
+	for _, m := range s.modules {
+		st := m.Stats()
+		total.ACTs += st.ACTs
+		total.RFMs += st.RFMs
+		total.PreventiveRefreshes += st.PreventiveRefreshes
+		total.AdaptiveSkips += st.AdaptiveSkips
+		total.VictimRowsRefreshed += st.VictimRowsRefreshed
+		if st.MaxSpreadSeen > total.MaxSpreadSeen {
+			total.MaxSpreadSeen = st.MaxSpreadSeen
+		}
+	}
+	return total
+}
+
+func (s *MithrilScheme) module(bank int) *core.Mithril {
+	m, ok := s.modules[bank]
+	if !ok {
+		m = core.New(s.cfg)
+		s.modules[bank] = m
+	}
+	return m
+}
+
+// Name implements mc.Scheme.
+func (s *MithrilScheme) Name() string {
+	if s.plus {
+		return "mithril+"
+	}
+	return "mithril"
+}
+
+// RFMCompatible implements mc.Scheme.
+func (s *MithrilScheme) RFMCompatible() bool { return true }
+
+// RFMTH implements mc.Scheme.
+func (s *MithrilScheme) RFMTH() int { return s.cfg.RFMTH }
+
+// OnActivate implements mc.Scheme: DRAM-side table update, no ARR.
+func (s *MithrilScheme) OnActivate(bank int, row uint32, coreID int, now timing.PicoSeconds) []uint32 {
+	s.module(bank).OnActivate(row)
+	return nil
+}
+
+// PreACTDelay implements mc.Scheme.
+func (s *MithrilScheme) PreACTDelay(int, uint32, int, timing.PicoSeconds) timing.PicoSeconds {
+	return 0
+}
+
+// OnRFM implements mc.Scheme: greedy selection inside the tRFM window.
+func (s *MithrilScheme) OnRFM(bank int, now timing.PicoSeconds) []uint32 {
+	_, v, refreshed := s.module(bank).OnRFM()
+	if !refreshed {
+		return nil
+	}
+	return v
+}
+
+// SkipRFM implements mc.Scheme: only Mithril+ exposes the flag to the MC.
+func (s *MithrilScheme) SkipRFM(bank int) bool {
+	if !s.plus {
+		return false
+	}
+	return s.module(bank).SkipFlag()
+}

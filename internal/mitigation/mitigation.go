@@ -1,0 +1,117 @@
+// Package mitigation implements every RowHammer protection scheme of the
+// paper's Table I behind the mc.Scheme interface:
+//
+//	PARA         probabilistic · ARR       · MC
+//	PARFM        probabilistic · RFM       · DRAM (Section III-E)
+//	CBT          deterministic · ARR       · MC   (grouped counters)
+//	TWiCe        deterministic · ARR       · buffer chip (lossy counting)
+//	Graphene     deterministic · ARR       · MC   (CbS)
+//	BlockHammer  deterministic · throttling· MC   (dual counting Bloom filters)
+//	Mithril(+)   deterministic · RFM       · DRAM (CbS, this paper)
+//
+// All schemes are configured from (timing.Params, FlipTH) exactly the way
+// Section VI-A describes, via the Options/Build factory.
+package mitigation
+
+import (
+	"fmt"
+
+	"mithril/internal/mc"
+	"mithril/internal/timing"
+)
+
+// Options carries the common configuration for scheme construction.
+type Options struct {
+	Timing timing.Params
+	// FlipTH is the RowHammer threshold to protect.
+	FlipTH int
+	// BlastRadius is the per-side victim range (1 = double-sided; 3 for
+	// the non-adjacent model of Section V-C).
+	BlastRadius int
+	// RFMTH overrides the paper's per-FlipTH RFM threshold when positive
+	// (Mithril/Mithril+ only).
+	RFMTH int
+	// AdTH is Mithril's adaptive-refresh threshold; the paper's default
+	// is 200. Negative disables the adaptive policy (AdTH = 0).
+	AdTH int
+	// Seed drives the probabilistic schemes deterministically.
+	Seed uint64
+}
+
+func (o *Options) normalize() {
+	if o.BlastRadius <= 0 {
+		o.BlastRadius = 1
+	}
+	if o.AdTH == 0 {
+		o.AdTH = DefaultAdTH
+	}
+	if o.AdTH < 0 {
+		o.AdTH = 0
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x6d69746872696c // "mithril"
+	}
+}
+
+// DefaultAdTH is the paper's default adaptive-refresh threshold.
+const DefaultAdTH = 200
+
+// PaperRFMTH returns the RFMTH the evaluation assigns per FlipTH level
+// (Section VI-A: 256 at 50K/25K, fixed 32 at 1.5K, scaling between).
+func PaperRFMTH(flipTH int) int {
+	switch {
+	case flipTH >= 25000:
+		return 256
+	case flipTH >= 6250:
+		return 128
+	case flipTH >= 3125:
+		return 64
+	default:
+		return 32
+	}
+}
+
+// victims lists rows within radius of aggressor on both sides (bank-local,
+// clamped at zero; the device clamps the upper edge).
+func victims(aggressor uint32, radius int) []uint32 {
+	out := make([]uint32, 0, 2*radius)
+	for d := 1; d <= radius; d++ {
+		if aggressor >= uint32(d) {
+			out = append(out, aggressor-uint32(d))
+		}
+		out = append(out, aggressor+uint32(d))
+	}
+	return out
+}
+
+// Build constructs a scheme by name: "none", "para", "parfm", "graphene",
+// "twice", "cbt", "blockhammer", "mithril", "mithril+".
+func Build(name string, opt Options) (mc.Scheme, error) {
+	switch name {
+	case "none", "":
+		return mc.NoProtection{}, nil
+	case "para":
+		return NewPARA(opt), nil
+	case "parfm":
+		return NewPARFM(opt), nil
+	case "graphene":
+		return NewGraphene(opt), nil
+	case "twice":
+		return NewTWiCe(opt), nil
+	case "cbt":
+		return NewCBT(opt), nil
+	case "blockhammer":
+		return NewBlockHammer(opt), nil
+	case "mithril":
+		return NewMithril(opt), nil
+	case "mithril+":
+		return NewMithrilPlus(opt), nil
+	default:
+		return nil, fmt.Errorf("mitigation: unknown scheme %q", name)
+	}
+}
+
+// Names lists the buildable scheme names.
+func Names() []string {
+	return []string{"none", "para", "parfm", "graphene", "twice", "cbt", "blockhammer", "mithril", "mithril+"}
+}

@@ -1,0 +1,383 @@
+package mitigation
+
+import (
+	"testing"
+
+	"mithril/internal/mc"
+	"mithril/internal/rh"
+	"mithril/internal/timing"
+)
+
+func opts(flipTH int) Options {
+	return Options{Timing: timing.DDR5(), FlipTH: flipTH, Seed: 7}
+}
+
+func TestBuildAllNames(t *testing.T) {
+	for _, name := range Names() {
+		s, err := Build(name, opts(6250))
+		if err != nil {
+			t.Fatalf("Build(%q): %v", name, err)
+		}
+		if name != "none" && s.Name() != name {
+			t.Errorf("Build(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if _, err := Build("bogus", opts(6250)); err == nil {
+		t.Fatal("unknown scheme should error")
+	}
+}
+
+func TestPaperRFMTH(t *testing.T) {
+	cases := map[int]int{50000: 256, 25000: 256, 12500: 128, 6250: 128, 3125: 64, 1500: 32}
+	for f, want := range cases {
+		if got := PaperRFMTH(f); got != want {
+			t.Errorf("PaperRFMTH(%d) = %d, want %d", f, got, want)
+		}
+	}
+}
+
+// replayAttack drives a scheme directly (no full simulator): row activations
+// at tRC pace with RFM every RFMTH ACTs (when compatible), applying
+// ARR/preventive refreshes to a fault checker. Returns the checker report.
+func replayAttack(s mc.Scheme, flipTH int, rows []uint32, nACTs int) rh.Report {
+	p := timing.DDR5()
+	ck := rh.NewChecker(p.Rows, flipTH, nil)
+	raa := 0
+	now := timing.PicoSeconds(0)
+	autoRef := 0
+	for i := 0; i < nACTs; i++ {
+		row := rows[i%len(rows)]
+		// Auto-refresh: sweep every group whose tREFI slot has elapsed
+		// (throttling can fast-forward time across many slots at once).
+		if target := int(now / p.TREFI); target > autoRef {
+			groups := p.RefreshGroups
+			rowsPer := p.Rows / groups
+			for next := autoRef + 1; next <= target; next++ {
+				g := next % groups
+				for r := g * rowsPer; r < (g+1)*rowsPer; r++ {
+					ck.OnRefresh(r)
+				}
+			}
+			now += p.TRFC * timing.PicoSeconds(target-autoRef)
+			autoRef = target
+		}
+		if until := s.PreACTDelay(0, row, 0, now); until > now {
+			now = until
+		}
+		ck.OnActivate(int(row), now)
+		for _, v := range s.OnActivate(0, row, 0, now) {
+			ck.OnRefresh(int(v))
+			now += p.TRC
+		}
+		now += p.TRC
+		if s.RFMCompatible() {
+			raa++
+			if raa >= s.RFMTH() {
+				raa = 0
+				if !s.SkipRFM(0) {
+					for _, v := range s.OnRFM(0, now) {
+						ck.OnRefresh(int(v))
+					}
+					now += p.TRFM
+				}
+			}
+		}
+	}
+	return ck.Report()
+}
+
+func TestDeterministicSchemesStopDoubleSidedAttack(t *testing.T) {
+	// A double-sided attack of 4×FlipTH ACTs must not flip under any
+	// deterministic scheme.
+	const flipTH = 3125
+	rows := []uint32{2000, 2002}
+	for _, name := range []string{"graphene", "twice", "cbt", "blockhammer", "mithril", "mithril+"} {
+		s, err := Build(name, opts(flipTH))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := replayAttack(s, flipTH, rows, 4*flipTH)
+		if !rep.Safe() {
+			t.Errorf("%s failed to stop double-sided attack: %v", name, rep)
+		}
+	}
+}
+
+func TestDeterministicSchemesStopMultiSidedAttack(t *testing.T) {
+	const flipTH = 6250
+	rows := make([]uint32, 33)
+	for i := range rows {
+		rows[i] = uint32(3000 + 2*i)
+	}
+	for _, name := range []string{"graphene", "twice", "mithril", "mithril+"} {
+		s, err := Build(name, opts(flipTH))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := replayAttack(s, flipTH, rows, 8*flipTH)
+		if !rep.Safe() {
+			t.Errorf("%s failed to stop multi-sided attack: %v", name, rep)
+		}
+	}
+}
+
+func TestNoProtectionFlips(t *testing.T) {
+	s, _ := Build("none", opts(3125))
+	rep := replayAttack(s, 3125, []uint32{2000, 2002}, 4*3125)
+	if rep.Safe() {
+		t.Fatal("control run should flip without protection")
+	}
+}
+
+func TestPARAProbabilityScalesWithFlipTH(t *testing.T) {
+	hi := NewPARA(opts(50000))
+	lo := NewPARA(opts(1500))
+	if !(lo.Probability() > hi.Probability()) {
+		t.Fatalf("p(1.5K)=%v should exceed p(50K)=%v", lo.Probability(), hi.Probability())
+	}
+	if p := lo.Probability(); p <= 0 || p > 1 {
+		t.Fatalf("probability %v out of range", p)
+	}
+}
+
+func TestPARAStatisticallyProtects(t *testing.T) {
+	// Not deterministic, but at 4×FlipTH ACTs the expected number of
+	// preventive refreshes is ~p·N ≫ 1; a flip would be astronomically
+	// unlikely with the configured p.
+	s := NewPARA(opts(3125))
+	rep := replayAttack(s, 3125, []uint32{2000, 2002}, 4*3125)
+	if !rep.Safe() {
+		t.Fatalf("PARA failed its statistical protection: %v", rep)
+	}
+}
+
+func TestPARFMRefreshesEveryRFM(t *testing.T) {
+	s := NewPARFM(opts(6250))
+	if !s.RFMCompatible() || s.RFMTH() <= 0 {
+		t.Fatal("PARFM must be RFM compatible with positive RFMTH")
+	}
+	// Feed ACTs, then check OnRFM returns victims (energy cost driver).
+	for i := 0; i < s.RFMTH(); i++ {
+		s.OnActivate(0, uint32(1000+i), 0, 0)
+	}
+	if v := s.OnRFM(0, 0); len(v) == 0 {
+		t.Fatal("PARFM should always refresh at RFM")
+	}
+	if s.SkipRFM(0) {
+		t.Fatal("PARFM never skips")
+	}
+}
+
+func TestPARFMRequiredRFMTHLowerAtLowFlipTH(t *testing.T) {
+	hi := NewPARFM(opts(50000))
+	lo := NewPARFM(opts(1500))
+	if !(lo.RFMTH() < hi.RFMTH()) {
+		t.Fatalf("RFMTH(1.5K)=%d should be below RFMTH(50K)=%d", lo.RFMTH(), hi.RFMTH())
+	}
+}
+
+func TestGrapheneResetsPeriodically(t *testing.T) {
+	s := NewGraphene(opts(6250))
+	p := timing.DDR5()
+	s.OnActivate(0, 1, 0, 0)
+	s.OnActivate(0, 1, 0, p.TREFW/2+1)
+	if s.Resets() != 1 {
+		t.Fatalf("resets = %d, want 1 after tREFW/2", s.Resets())
+	}
+}
+
+func TestGrapheneTriggersAtThresholdMultiples(t *testing.T) {
+	s := NewGraphene(opts(6250))
+	th := s.Threshold()
+	var triggers int
+	for i := uint64(0); i < 2*th+2; i++ {
+		if len(s.OnActivate(0, 42, 0, timing.PicoSeconds(i))) > 0 {
+			triggers++
+		}
+	}
+	if triggers != 2 {
+		t.Fatalf("triggers = %d over 2T+2 ACTs, want 2 (at T and 2T)", triggers)
+	}
+}
+
+func TestTWiCeDropsAfterTrigger(t *testing.T) {
+	s := NewTWiCe(opts(6250))
+	var victimsSeen []uint32
+	for i := uint64(0); i < uint64(s.Threshold())+1; i++ {
+		victimsSeen = s.OnActivate(0, 7, 0, timing.PicoSeconds(i))
+		if len(victimsSeen) > 0 {
+			break
+		}
+	}
+	if len(victimsSeen) != 2 {
+		t.Fatalf("TWiCe victims = %v, want both neighbours", victimsSeen)
+	}
+	if s.MaxLiveEntries() == 0 {
+		t.Fatal("live-entry high-water mark should be tracked")
+	}
+}
+
+func TestCBTSplitsBeforeRefreshing(t *testing.T) {
+	s := NewCBT(opts(6250))
+	// Hammer one row: the tree must split down toward the row, and the
+	// eventual group refresh must cover a narrow range, not the bank.
+	var group []uint32
+	for i := 0; i < 4*6250; i++ {
+		if v := s.OnActivate(0, 5000, 0, timing.PicoSeconds(i)); len(v) > 0 {
+			group = v
+			break
+		}
+	}
+	if len(group) == 0 {
+		t.Fatal("CBT never refreshed")
+	}
+	if len(group) > 4096 {
+		t.Fatalf("group refresh covered %d rows; tree should have split first", len(group))
+	}
+	groups, rows := s.GroupRefreshes()
+	if groups != 1 || rows != uint64(len(group)) {
+		t.Fatalf("stats = (%d, %d)", groups, rows)
+	}
+}
+
+func TestBlockHammerThrottlesBlacklistedRow(t *testing.T) {
+	s := NewBlockHammer(opts(6250))
+	if s.TDelay() <= 0 {
+		t.Fatal("tDelay must be positive")
+	}
+	now := timing.PicoSeconds(0)
+	for i := uint64(0); i <= s.NBL(); i++ {
+		s.OnActivate(0, 99, 0, now)
+		now += timing.DDR5().TRC
+	}
+	if until := s.PreACTDelay(0, 99, 0, now); until <= now {
+		t.Fatal("row past NBL should be delayed")
+	}
+	if s.PreACTDelay(0, 100, 0, now) != 0 {
+		t.Fatal("cold row should not be delayed")
+	}
+	if s.BlacklistEvents() == 0 {
+		t.Fatal("blacklist events should be counted")
+	}
+}
+
+func TestBlockHammerThreadEscalation(t *testing.T) {
+	s := NewBlockHammer(opts(6250))
+	now := timing.PicoSeconds(0)
+	// Core 5 hammers a blacklisted row repeatedly.
+	for i := 0; i < int(s.NBL())+blockHammerThreadThreshold+1; i++ {
+		s.OnActivate(0, 99, 5, now)
+		now += timing.DDR5().TRC
+	}
+	// Even a fresh row is now delayed for core 5, but not for core 6.
+	if s.PreACTDelay(0, 500, 5, now) <= now {
+		t.Fatal("attacker thread should be throttled on all rows")
+	}
+	if s.PreACTDelay(0, 500, 6, now) != 0 {
+		t.Fatal("innocent thread should be unaffected")
+	}
+}
+
+func TestBlockHammerCollisionOracle(t *testing.T) {
+	s := NewBlockHammer(opts(6250))
+	target := uint32(512)
+	rows := s.CollidingRows(0, target, 8)
+	if len(rows) == 0 {
+		t.Fatal("oracle found no colliding rows")
+	}
+	for _, r := range rows {
+		if r == target || absDiff(r, target) <= 1 {
+			t.Fatalf("oracle returned the target's own neighbourhood (%d)", r)
+		}
+	}
+	// Activating the colliding rows NBL times must blacklist the target:
+	// its very next (benign) activation arms the pacing delay.
+	now := timing.PicoSeconds(0)
+	for i := uint64(0); i <= s.NBL(); i++ {
+		for _, r := range rows {
+			s.OnActivate(0, r, 1, now)
+			now += timing.DDR5().TRC
+		}
+	}
+	s.OnActivate(0, target, 0, now) // one benign access to the hot row
+	if s.PreACTDelay(0, target, 0, now+timing.DDR5().TRC) <= now {
+		t.Fatal("collision attack failed to blacklist the benign row")
+	}
+}
+
+func TestMithrilSchemeConfiguration(t *testing.T) {
+	s := NewMithril(opts(6250))
+	cfg := s.ModuleConfig()
+	if cfg.RFMTH != 128 {
+		t.Fatalf("RFMTH = %d, want paper's 128 at 6.25K", cfg.RFMTH)
+	}
+	if cfg.AdTH != DefaultAdTH {
+		t.Fatalf("AdTH = %d, want default %d", cfg.AdTH, DefaultAdTH)
+	}
+	if cfg.NEntry <= 0 || s.TableKB() <= 0 {
+		t.Fatalf("sizing broken: %+v, %v KB", cfg, s.TableKB())
+	}
+	if s.Name() != "mithril" || NewMithrilPlus(opts(6250)).Name() != "mithril+" {
+		t.Fatal("names")
+	}
+}
+
+func TestMithrilSkipFlagOnlyOnPlus(t *testing.T) {
+	plain := NewMithril(opts(6250))
+	plus := NewMithrilPlus(opts(6250))
+	// Quiet table: plus may skip; plain never may.
+	plain.OnActivate(0, 1, 0, 0)
+	plus.OnActivate(0, 1, 0, 0)
+	if plain.SkipRFM(0) {
+		t.Fatal("plain Mithril must not skip RFM commands")
+	}
+	if !plus.SkipRFM(0) {
+		t.Fatal("Mithril+ should skip on a quiet table")
+	}
+	// Hammered table: neither skips.
+	for i := 0; i < 1000; i++ {
+		plus.OnActivate(0, 42, 0, 0)
+	}
+	if plus.SkipRFM(0) {
+		t.Fatal("Mithril+ must not skip while under attack")
+	}
+}
+
+func TestMithrilAdaptiveSkipsOnUniformTraffic(t *testing.T) {
+	s := NewMithril(opts(6250))
+	// Uniform traffic across many rows: spread stays below AdTH.
+	for i := 0; i < 4096; i++ {
+		s.OnActivate(0, uint32(i%1024), 0, 0)
+	}
+	if v := s.OnRFM(0, 0); v != nil {
+		t.Fatalf("adaptive policy should skip the refresh, got victims %v", v)
+	}
+	st := s.ModuleStats()
+	if st.AdaptiveSkips != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMithrilPanicsOnInfeasibleConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("infeasible config should panic")
+		}
+	}()
+	o := opts(1500)
+	o.RFMTH = 256 // infeasible per Figure 6
+	NewMithril(o)
+}
+
+func TestNonAdjacentBlastRadius(t *testing.T) {
+	o := opts(6250)
+	o.BlastRadius = 3
+	s := NewMithril(o)
+	for i := 0; i < 2000; i++ {
+		s.OnActivate(0, 500, 0, 0)
+	}
+	v := s.OnRFM(0, 0)
+	if len(v) != 6 {
+		t.Fatalf("radius-3 preventive refresh should cover 6 rows, got %v", v)
+	}
+}

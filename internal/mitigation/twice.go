@@ -1,0 +1,105 @@
+package mitigation
+
+import (
+	"mithril/internal/mc"
+	"mithril/internal/streaming"
+	"mithril/internal/timing"
+)
+
+// TWiCe (Lee et al., ISCA 2019): lossy counting on the DIMM buffer chip.
+// Rows whose conservative estimate reaches FlipTH/4 get their victims
+// refreshed through a feedback-augmented ARR and are dropped from the
+// table; cold entries are pruned by the lossy-counting bucket mechanism.
+// The live table is several times larger than Graphene's for the same
+// guarantee (Table IV) — the algorithmic inefficiency Figure 6 quantifies.
+type TWiCe struct {
+	opt       Options
+	threshold uint64
+	tables    map[int]*streaming.LossyCounting
+	width     int
+	lastReset timing.PicoSeconds
+	arrCount  uint64
+}
+
+var _ mc.Scheme = (*TWiCe)(nil)
+
+// NewTWiCe configures the tracker: trigger threshold FlipTH/4 and a lossy
+// bucket width of 8·S/FlipTH observations, so the per-window undercount
+// Δ ≤ S/width = FlipTH/8 stays below the trigger threshold (no spurious
+// ARRs) while true aggressors (≥ FlipTH/4 ACTs) can never be pruned.
+// Tables reset every tREFW — the coarse equivalent of TWiCe's per-entry
+// life-stage pruning, which keys counts to the refresh window.
+func NewTWiCe(opt Options) *TWiCe {
+	opt.normalize()
+	th := uint64(opt.FlipTH / 4)
+	if th == 0 {
+		th = 1
+	}
+	s := opt.Timing.ACTsPerREFW()
+	width := 8 * s / opt.FlipTH
+	if width < 1 {
+		width = 1
+	}
+	return &TWiCe{
+		opt:       opt,
+		threshold: th,
+		width:     width,
+		tables:    make(map[int]*streaming.LossyCounting),
+	}
+}
+
+// Threshold exposes the ARR trigger level.
+func (s *TWiCe) Threshold() uint64 { return s.threshold }
+
+// MaxLiveEntries reports the high-water mark across banks — the hardware
+// table provisioning (Table IV's area driver).
+func (s *TWiCe) MaxLiveEntries() int {
+	max := 0
+	for _, t := range s.tables {
+		if t.MaxLive() > max {
+			max = t.MaxLive()
+		}
+	}
+	return max
+}
+
+// Name implements mc.Scheme.
+func (s *TWiCe) Name() string { return "twice" }
+
+// RFMCompatible implements mc.Scheme.
+func (s *TWiCe) RFMCompatible() bool { return false }
+
+// RFMTH implements mc.Scheme.
+func (s *TWiCe) RFMTH() int { return 0 }
+
+// OnActivate implements mc.Scheme.
+func (s *TWiCe) OnActivate(bank int, row uint32, core int, now timing.PicoSeconds) []uint32 {
+	if now-s.lastReset >= s.opt.Timing.TREFW {
+		for _, t := range s.tables {
+			t.Reset()
+		}
+		s.lastReset = now
+	}
+	t, ok := s.tables[bank]
+	if !ok {
+		t = streaming.NewLossyCounting(s.width)
+		s.tables[bank] = t
+	}
+	t.Observe(row)
+	if t.Estimate(row) < s.threshold {
+		return nil
+	}
+	// Trigger: refresh victims, drop the entry (its count restarts).
+	t.Drop(row)
+	s.arrCount++
+	return victims(row, s.opt.BlastRadius)
+}
+
+// PreACTDelay implements mc.Scheme.
+func (s *TWiCe) PreACTDelay(int, uint32, int, timing.PicoSeconds) timing.PicoSeconds { return 0 }
+
+// OnRFM implements mc.Scheme.
+func (s *TWiCe) OnRFM(int, timing.PicoSeconds) []uint32 { return nil }
+
+// SkipRFM implements mc.Scheme.
+func (s *TWiCe) SkipRFM(int) bool { return false }

@@ -1,0 +1,171 @@
+// Package rh models the RowHammer fault mechanism itself: per-row
+// disturbance accumulation with a configurable blast radius, bit-flip
+// detection against FlipTH, and safety reports. The simulator wires a
+// Checker into every DRAM bank; mitigation schemes are judged by whether any
+// victim row ever accumulates FlipTH of disturbance between refreshes
+// (Section II-B of the paper).
+package rh
+
+import (
+	"fmt"
+
+	"mithril/internal/timing"
+)
+
+// Flip records one detected bit flip: a victim row whose accumulated
+// disturbance reached FlipTH before it was refreshed.
+type Flip struct {
+	Row         int
+	Time        timing.PicoSeconds
+	Disturbance float64
+}
+
+// String renders the flip for reports.
+func (f Flip) String() string {
+	return fmt.Sprintf("bit flip: row %d at %v (disturbance %.0f)", f.Row, f.Time, f.Disturbance)
+}
+
+// Checker accumulates RowHammer disturbance for one DRAM bank.
+type Checker struct {
+	rows    int
+	flipTH  float64
+	weights []float64 // weights[d-1] = disturbance added at distance d per ACT
+
+	disturb   []float64
+	flipped   []bool // latched per refresh epoch to avoid duplicate reports
+	flips     []Flip
+	maxSeen   float64
+	maxRow    int
+	acts      uint64
+	refreshes uint64
+}
+
+// DoubleSidedWeights is the classic adjacent-only model: each ACT disturbs
+// the two distance-1 neighbours with weight 1 (aggregated effect 2).
+func DoubleSidedWeights() []float64 { return []float64{1} }
+
+// NonAdjacentWeights models the range-3 effect of Section V-C: per-side
+// weights 1, 0.5, 0.25 aggregate to 3.5 as reported by BlockHammer.
+func NonAdjacentWeights() []float64 { return []float64{1, 0.5, 0.25} }
+
+// AggregatedEffect sums the disturbance a victim suffers when every row
+// within the blast radius is an aggressor (both sides).
+func AggregatedEffect(weights []float64) float64 {
+	total := 0.0
+	for _, w := range weights {
+		total += 2 * w
+	}
+	return total
+}
+
+// NewChecker builds a checker for a bank with rows rows, flip threshold
+// flipTH, and the given per-distance weights (nil means double-sided).
+func NewChecker(rows, flipTH int, weights []float64) *Checker {
+	if rows <= 0 {
+		panic(fmt.Sprintf("rh: rows must be positive, got %d", rows))
+	}
+	if flipTH <= 0 {
+		panic(fmt.Sprintf("rh: FlipTH must be positive, got %d", flipTH))
+	}
+	if len(weights) == 0 {
+		weights = DoubleSidedWeights()
+	}
+	return &Checker{
+		rows:    rows,
+		flipTH:  float64(flipTH),
+		weights: weights,
+		disturb: make([]float64, rows),
+		flipped: make([]bool, rows),
+	}
+}
+
+// OnActivate records one ACT on row at the given time, disturbing every
+// neighbour within the blast radius.
+func (c *Checker) OnActivate(row int, now timing.PicoSeconds) {
+	if row < 0 || row >= c.rows {
+		panic(fmt.Sprintf("rh: activate of row %d outside bank of %d rows", row, c.rows))
+	}
+	c.acts++
+	for d := 1; d <= len(c.weights); d++ {
+		w := c.weights[d-1]
+		for _, v := range [2]int{row - d, row + d} {
+			if v < 0 || v >= c.rows {
+				continue
+			}
+			c.disturb[v] += w
+			if c.disturb[v] > c.maxSeen {
+				c.maxSeen = c.disturb[v]
+				c.maxRow = v
+			}
+			if c.disturb[v] >= c.flipTH && !c.flipped[v] {
+				c.flipped[v] = true
+				c.flips = append(c.flips, Flip{Row: v, Time: now, Disturbance: c.disturb[v]})
+			}
+		}
+	}
+}
+
+// OnRefresh records a refresh (auto or preventive) of row, resetting its
+// accumulated disturbance.
+func (c *Checker) OnRefresh(row int) {
+	if row < 0 || row >= c.rows {
+		return // refresh sweeps may address padding rows; ignore
+	}
+	c.refreshes++
+	c.disturb[row] = 0
+	c.flipped[row] = false
+}
+
+// Disturbance reports the current accumulated disturbance of row.
+func (c *Checker) Disturbance(row int) float64 {
+	if row < 0 || row >= c.rows {
+		return 0
+	}
+	return c.disturb[row]
+}
+
+// Flips returns all detected bit flips in detection order.
+func (c *Checker) Flips() []Flip { return c.flips }
+
+// MaxDisturbance reports the high-water mark of disturbance ever observed
+// and the row where it occurred — the safety margin is
+// FlipTH − MaxDisturbance even when no flip fired.
+func (c *Checker) MaxDisturbance() (float64, int) { return c.maxSeen, c.maxRow }
+
+// Counts reports the total ACTs and refreshes observed.
+func (c *Checker) Counts() (acts, refreshes uint64) { return c.acts, c.refreshes }
+
+// Report summarizes the verdict for one bank.
+type Report struct {
+	FlipTH         int
+	Flips          int
+	MaxDisturbance float64
+	MarginPercent  float64 // (FlipTH − max) / FlipTH × 100
+	ACTs           uint64
+	Refreshes      uint64
+}
+
+// Report produces the bank's safety summary.
+func (c *Checker) Report() Report {
+	return Report{
+		FlipTH:         int(c.flipTH),
+		Flips:          len(c.flips),
+		MaxDisturbance: c.maxSeen,
+		MarginPercent:  100 * (c.flipTH - c.maxSeen) / c.flipTH,
+		ACTs:           c.acts,
+		Refreshes:      c.refreshes,
+	}
+}
+
+// Safe reports whether no bit flip was detected.
+func (r Report) Safe() bool { return r.Flips == 0 }
+
+// String renders the report.
+func (r Report) String() string {
+	verdict := "SAFE"
+	if !r.Safe() {
+		verdict = fmt.Sprintf("UNSAFE (%d flips)", r.Flips)
+	}
+	return fmt.Sprintf("%s: max disturbance %.0f / FlipTH %d (margin %.1f%%), %d ACTs, %d refreshes",
+		verdict, r.MaxDisturbance, r.FlipTH, r.MarginPercent, r.ACTs, r.Refreshes)
+}

@@ -1,0 +1,215 @@
+package rh
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mithril/internal/timing"
+)
+
+func TestDoubleSidedDisturbance(t *testing.T) {
+	c := NewChecker(100, 1000, nil)
+	c.OnActivate(50, 0)
+	if got := c.Disturbance(49); got != 1 {
+		t.Errorf("row 49 disturbance = %v, want 1", got)
+	}
+	if got := c.Disturbance(51); got != 1 {
+		t.Errorf("row 51 disturbance = %v, want 1", got)
+	}
+	if got := c.Disturbance(50); got != 0 {
+		t.Errorf("aggressor itself should not accumulate, got %v", got)
+	}
+	if got := c.Disturbance(48); got != 0 {
+		t.Errorf("distance-2 should be untouched in double-sided model, got %v", got)
+	}
+}
+
+func TestDoubleSidedAttackFlipsAtHalfFlipTH(t *testing.T) {
+	// Two aggressors around one victim: FlipTH/2 ACTs on each flips it.
+	const flipTH = 100
+	c := NewChecker(10, flipTH, nil)
+	for i := 0; i < flipTH/2; i++ {
+		c.OnActivate(4, timing.PicoSeconds(i))
+		c.OnActivate(6, timing.PicoSeconds(i))
+	}
+	flips := c.Flips()
+	if len(flips) != 1 {
+		t.Fatalf("got %d flips, want exactly 1 (the shared victim)", len(flips))
+	}
+	if flips[0].Row != 5 {
+		t.Errorf("flipped row %d, want 5", flips[0].Row)
+	}
+	if r := c.Report(); r.Safe() {
+		t.Error("report should be unsafe")
+	}
+}
+
+func TestSingleSidedNeedsFullFlipTH(t *testing.T) {
+	const flipTH = 100
+	c := NewChecker(10, flipTH, nil)
+	for i := 0; i < flipTH-1; i++ {
+		c.OnActivate(4, 0)
+	}
+	if len(c.Flips()) != 0 {
+		t.Fatal("one-sided attack below FlipTH must not flip")
+	}
+	c.OnActivate(4, 0)
+	if len(c.Flips()) != 2 {
+		t.Fatalf("at FlipTH both neighbours flip, got %d", len(c.Flips()))
+	}
+}
+
+func TestRefreshResetsDisturbance(t *testing.T) {
+	const flipTH = 50
+	c := NewChecker(10, flipTH, nil)
+	for i := 0; i < flipTH-1; i++ {
+		c.OnActivate(4, 0)
+	}
+	c.OnRefresh(3)
+	c.OnRefresh(5)
+	for i := 0; i < flipTH-1; i++ {
+		c.OnActivate(4, 0)
+	}
+	if len(c.Flips()) != 0 {
+		t.Fatal("refresh between bursts should prevent flips")
+	}
+	if got := c.Disturbance(3); got != flipTH-1 {
+		t.Errorf("post-refresh accumulation = %v, want %d", got, flipTH-1)
+	}
+}
+
+func TestFlipLatchedUntilRefresh(t *testing.T) {
+	c := NewChecker(10, 10, nil)
+	for i := 0; i < 30; i++ {
+		c.OnActivate(4, 0)
+	}
+	if len(c.Flips()) != 2 {
+		t.Fatalf("flips should be latched once per epoch, got %d", len(c.Flips()))
+	}
+	c.OnRefresh(3)
+	for i := 0; i < 10; i++ {
+		c.OnActivate(4, 0)
+	}
+	if len(c.Flips()) != 3 {
+		t.Fatalf("after refresh a new epoch can flip again, got %d", len(c.Flips()))
+	}
+}
+
+func TestNonAdjacentWeights(t *testing.T) {
+	if got := AggregatedEffect(NonAdjacentWeights()); got != 3.5 {
+		t.Fatalf("aggregated effect = %v, want 3.5 (Section V-C)", got)
+	}
+	if got := AggregatedEffect(DoubleSidedWeights()); got != 2 {
+		t.Fatalf("double-sided aggregated effect = %v, want 2", got)
+	}
+	c := NewChecker(100, 1000, NonAdjacentWeights())
+	c.OnActivate(50, 0)
+	for _, tc := range []struct {
+		row  int
+		want float64
+	}{{49, 1}, {51, 1}, {48, 0.5}, {52, 0.5}, {47, 0.25}, {53, 0.25}, {46, 0}} {
+		if got := c.Disturbance(tc.row); got != tc.want {
+			t.Errorf("row %d disturbance = %v, want %v", tc.row, got, tc.want)
+		}
+	}
+}
+
+func TestEdgeRowsHaveFewerNeighbours(t *testing.T) {
+	c := NewChecker(4, 100, NonAdjacentWeights())
+	c.OnActivate(0, 0) // neighbours only on the right
+	if got := c.Disturbance(1); got != 1 {
+		t.Errorf("row 1 = %v, want 1", got)
+	}
+	if got := c.Disturbance(3); got != 0.25 {
+		t.Errorf("row 3 = %v, want 0.25", got)
+	}
+}
+
+func TestMaxDisturbanceTracksHighWaterMark(t *testing.T) {
+	c := NewChecker(10, 1000, nil)
+	for i := 0; i < 42; i++ {
+		c.OnActivate(4, 0)
+	}
+	c.OnRefresh(3)
+	c.OnRefresh(5)
+	max, row := c.MaxDisturbance()
+	if max != 42 || (row != 3 && row != 5) {
+		t.Fatalf("MaxDisturbance = (%v, %d), want (42, 3 or 5)", max, row)
+	}
+}
+
+func TestReportFields(t *testing.T) {
+	c := NewChecker(10, 100, nil)
+	for i := 0; i < 40; i++ {
+		c.OnActivate(4, 0)
+	}
+	c.OnRefresh(3)
+	r := c.Report()
+	if !r.Safe() {
+		t.Fatal("should be safe")
+	}
+	if r.ACTs != 40 || r.Refreshes != 1 {
+		t.Errorf("counts = (%d, %d), want (40, 1)", r.ACTs, r.Refreshes)
+	}
+	if r.MarginPercent != 60 {
+		t.Errorf("margin = %v%%, want 60%%", r.MarginPercent)
+	}
+	if r.String() == "" || (Flip{}).String() == "" {
+		t.Error("String() should render")
+	}
+}
+
+func TestOutOfRangeHandling(t *testing.T) {
+	c := NewChecker(10, 100, nil)
+	c.OnRefresh(-1) // ignored
+	c.OnRefresh(99) // ignored
+	if got := c.Disturbance(-5); got != 0 {
+		t.Error("out-of-range disturbance should read 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("OnActivate out of range should panic (simulator bug)")
+		}
+	}()
+	c.OnActivate(10, 0)
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, build := range []func(){
+		func() { NewChecker(0, 100, nil) },
+		func() { NewChecker(10, 0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid constructor args should panic")
+				}
+			}()
+			build()
+		}()
+	}
+}
+
+func TestDisturbanceConservationProperty(t *testing.T) {
+	// Property: with double-sided weights and no refreshes, total
+	// disturbance equals ACTs × (neighbours in range).
+	f := func(seed uint64) bool {
+		c := NewChecker(64, 1<<30, nil)
+		r := seed
+		total := 0.0
+		for i := 0; i < 500; i++ {
+			r = r*6364136223846793005 + 1442695040888963407
+			row := int(r>>33)%62 + 1 // interior rows: always 2 neighbours
+			c.OnActivate(row, 0)
+			total += 2
+		}
+		sum := 0.0
+		for row := 0; row < 64; row++ {
+			sum += c.Disturbance(row)
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

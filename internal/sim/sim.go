@@ -1,0 +1,257 @@
+// Package sim assembles the full system — cores + LLC + memory controller +
+// DRAM device + mitigation scheme — and runs tick-driven simulations that
+// produce the performance, energy, and safety numbers behind the paper's
+// evaluation figures.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"mithril/internal/cpu"
+	"mithril/internal/dram"
+	"mithril/internal/energy"
+	"mithril/internal/mc"
+	"mithril/internal/rh"
+	"mithril/internal/timing"
+	"mithril/internal/trace"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Params  timing.Params
+	FlipTH  int
+	Weights []float64 // disturbance weights (nil = double-sided)
+
+	Scheduler mc.SchedulerKind
+	Policy    mc.PagePolicy
+	Scheme    mc.Scheme // nil = no protection
+
+	Workload     []trace.Generator // one per core
+	InstrPerCore int64
+	CoreCfg      cpu.CoreConfig
+	LLCBytes     int
+	LLCWays      int
+
+	// MaxTime bounds the simulated time (a safety stop for starved runs).
+	MaxTime timing.PicoSeconds
+
+	// RequireCores ends the run once the first RequireCores cores reach
+	// their instruction target (0 = all). Attack experiments set this to
+	// the benign core count: a throttled attacker never finishes — that
+	// is the mitigation working, not a reason to run forever.
+	RequireCores int
+}
+
+func (c *Config) normalize() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.FlipTH <= 0 {
+		return fmt.Errorf("sim: FlipTH must be positive, got %d", c.FlipTH)
+	}
+	if len(c.Workload) == 0 {
+		return fmt.Errorf("sim: workload has no cores")
+	}
+	if c.InstrPerCore <= 0 {
+		c.InstrPerCore = 100_000
+	}
+	if c.CoreCfg == (cpu.CoreConfig{}) {
+		c.CoreCfg = cpu.DefaultCoreConfig()
+	}
+	if c.LLCBytes <= 0 {
+		c.LLCBytes = 16 << 20 // Table III: 16 MB
+	}
+	if c.LLCWays <= 0 {
+		c.LLCWays = 16
+	}
+	if c.MaxTime <= 0 {
+		c.MaxTime = 400 * timing.Millisecond
+	}
+	return nil
+}
+
+// Result carries everything a run produced.
+type Result struct {
+	SchemeName    string
+	IPCs          []float64
+	AggregateIPC  float64
+	SimulatedTime timing.PicoSeconds
+	Device        dram.BankStats
+	MC            mc.Stats
+	Energy        energy.Breakdown
+	Safety        rh.Report
+	LLCHitRate    float64
+	Finished      bool // all cores reached their instruction target
+}
+
+// completion is a pending memory response.
+type completion struct {
+	at    timing.PicoSeconds
+	core  int
+	reqID uint64
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// genSource adapts a trace.Generator to the core's Source interface.
+type genSource struct{ g trace.Generator }
+
+func (s genSource) Next() cpu.Op {
+	a := s.g.Next()
+	return cpu.Op{Gap: a.Gap, Addr: a.Addr, Write: a.Write, Serialize: a.Serialize, Uncached: a.Uncached}
+}
+
+// Run executes one simulation to completion (or MaxTime) and returns the
+// results.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return Result{}, err
+	}
+	scheme := cfg.Scheme
+	if scheme == nil {
+		scheme = mc.NoProtection{}
+	}
+	dev := dram.NewDevice(cfg.Params, cfg.FlipTH, cfg.Weights)
+	var pending completionHeap
+	ctl := mc.NewController(dev, mc.Config{
+		Scheduler: cfg.Scheduler,
+		Policy:    cfg.Policy,
+		Scheme:    scheme,
+	}, func(r *mc.Request, at timing.PicoSeconds) {
+		heap.Push(&pending, completion{at: at, core: r.CoreID, reqID: r.ID})
+	})
+	llc := cpu.NewLLC(cfg.LLCBytes, cfg.LLCWays)
+	space := ctl.Mapper().AddressSpace()
+	cores := make([]*cpu.Core, len(cfg.Workload))
+	for i, g := range cfg.Workload {
+		cores[i] = cpu.NewCore(i, cfg.CoreCfg, wrapSpace{genSource{g}, space}, llc, cfg.InstrPerCore, ctl.Enqueue)
+	}
+
+	now := timing.PicoSeconds(0)
+	tick := cfg.Params.TCK
+	for {
+		// Deliver due completions.
+		for len(pending) > 0 && pending[0].at <= now {
+			c := heap.Pop(&pending).(completion)
+			cores[c.core].Complete(c.reqID, c.at)
+		}
+		required := cfg.RequireCores
+		if required <= 0 || required > len(cores) {
+			required = len(cores)
+		}
+		allDone := true
+		for i, core := range cores {
+			core.Advance(now)
+			if i < required && !core.Finished() {
+				allDone = false
+			}
+		}
+		if allDone || now > cfg.MaxTime {
+			res := collect(cfg, scheme, cores, dev, ctl, llc, now)
+			res.Finished = allDone
+			return res, nil
+		}
+		ctl.Tick(now)
+		now += tick
+		// Idle fast-forward: jump to the next event (controller work,
+		// completion, core fetch time, or refresh slot) instead of ticking
+		// through dead time. This is what makes serialized attack loops
+		// (one miss per ~100 ns) and multi-microsecond throttle delays
+		// simulable over millisecond refresh windows.
+		next := ctl.NextWork(now)
+		if t := ctl.NextRefresh(); t < next {
+			next = t
+		}
+		if len(pending) > 0 && pending[0].at < next {
+			next = pending[0].at
+		}
+		for _, core := range cores {
+			if t := core.NextReady(); t < next {
+				next = t
+			}
+		}
+		if next > now {
+			now = next
+		}
+	}
+}
+
+// wrapSpace folds generator addresses into the device address space.
+type wrapSpace struct {
+	inner genSource
+	space uint64
+}
+
+func (w wrapSpace) Next() cpu.Op {
+	op := w.inner.Next()
+	op.Addr %= w.space
+	return op
+}
+
+func collect(cfg Config, scheme mc.Scheme, cores []*cpu.Core, dev *dram.Device, ctl *mc.Controller, llc *cpu.LLC, now timing.PicoSeconds) Result {
+	res := Result{
+		SchemeName:    scheme.Name(),
+		SimulatedTime: now,
+		Device:        dev.TotalStats(),
+		MC:            ctl.Stats(),
+		Safety:        dev.SafetyReport(),
+		LLCHitRate:    llc.HitRate(),
+	}
+	for _, c := range cores {
+		ipc := c.IPC()
+		res.IPCs = append(res.IPCs, ipc)
+		res.AggregateIPC += ipc
+	}
+	res.Energy = energy.Compute(res.Device, res.MC, energy.DefaultParams())
+	return res
+}
+
+// Comparison holds a protected run normalized against its baseline.
+type Comparison struct {
+	Baseline  Result
+	Protected Result
+	// RelativePerformance is protected aggregate IPC / baseline aggregate
+	// IPC × 100 (the paper's "relative performance (%)").
+	RelativePerformance float64
+	// EnergyOverheadPercent is the relative dynamic energy increase.
+	EnergyOverheadPercent float64
+}
+
+// RunComparison executes the workload twice — unprotected baseline and with
+// the scheme — using identical generator state, and reports normalized
+// metrics.
+func RunComparison(cfg Config, workload trace.Workload, scheme mc.Scheme) (Comparison, error) {
+	base := cfg
+	base.Scheme = nil
+	base.Workload = workload.Fresh()
+	baseline, err := Run(base)
+	if err != nil {
+		return Comparison{}, err
+	}
+	prot := cfg
+	prot.Scheme = scheme
+	prot.Workload = workload.Fresh()
+	protected, err := Run(prot)
+	if err != nil {
+		return Comparison{}, err
+	}
+	cmp := Comparison{Baseline: baseline, Protected: protected}
+	if baseline.AggregateIPC > 0 {
+		cmp.RelativePerformance = 100 * protected.AggregateIPC / baseline.AggregateIPC
+	}
+	cmp.EnergyOverheadPercent = energy.OverheadPercent(protected.Energy, baseline.Energy)
+	return cmp, nil
+}

@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{4, 9}); math.Abs(got-6) > 1e-12 {
+		t.Errorf("Geomean(4,9) = %v, want 6", got)
+	}
+	if got := Geomean([]float64{5}); got != 5 {
+		t.Errorf("Geomean(5) = %v", got)
+	}
+	if got := Geomean(nil); got != 0 {
+		t.Errorf("Geomean(nil) = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Geomean of non-positive should panic")
+		}
+	}()
+	Geomean([]float64{1, 0})
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Add("alpha", "1")
+	tb.Add("a-much-longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want header+separator+2 rows", len(lines))
+	}
+	// All lines align to the same width.
+	w := len(lines[0])
+	for i, l := range lines {
+		if len(l) != w {
+			t.Errorf("line %d width %d != %d", i, len(l), w)
+		}
+	}
+	if !strings.Contains(out, "a-much-longer-name") {
+		t.Error("row content missing")
+	}
+	// Short rows render with empty cells.
+	tb.Add("only-name")
+	if !strings.Contains(tb.String(), "only-name") {
+		t.Error("short row missing")
+	}
+}

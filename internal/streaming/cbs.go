@@ -1,0 +1,200 @@
+package streaming
+
+import "fmt"
+
+// Summary is the interface shared by the two Counter-based Summary
+// implementations (scan-based CbS and bucketed SpaceSaving). It exposes
+// exactly the operations the Mithril control logic needs: on-ACT update,
+// greedy selection, RFM decrement, and the Min/Max/Spread observations used
+// by the adaptive-refresh policy.
+type Summary interface {
+	// Observe records one occurrence of key (one ACT of a row address).
+	Observe(key uint32)
+	// Estimate reports the estimated count for key: the written counter
+	// value when key is on-table, Min() otherwise.
+	Estimate(key uint32) uint64
+	// Min reports the minimum counter value in the table (0 when empty).
+	Min() uint64
+	// Max reports an entry with the maximum counter value. ok is false when
+	// the table is empty.
+	Max() (key uint32, count uint64, ok bool)
+	// DecrementMaxToMin implements the Mithril RFM step: the entry at
+	// MaxPtr is selected, its counter is lowered to Min(), and its key is
+	// returned for preventive refresh. ok is false when the table is empty.
+	DecrementMaxToMin() (key uint32, ok bool)
+	// Spread is Max − Min, the adaptive-refresh attack indicator.
+	Spread() uint64
+	// Len is the number of occupied entries; Cap the table capacity.
+	Len() int
+	Cap() int
+	// Reset clears the table (Graphene-style periodic reset; Mithril does
+	// not need it thanks to wrapping counters but the baseline does).
+	Reset()
+}
+
+// CbS is the scan-based reference implementation of the Counter-based
+// Summary algorithm (Misra–Gries / Space-Saving variant used by Graphene and
+// Mithril). Updates are O(1) via a key index; Min/Max queries scan the table,
+// which is acceptable for the table sizes the paper studies (tens to a few
+// thousand entries) and makes the implementation obviously correct — the
+// O(1) SpaceSaving structure is property-tested against this one.
+type CbS struct {
+	keys   []uint32
+	counts []uint64
+	used   []bool
+	index  map[uint32]int // key -> slot
+}
+
+var _ Summary = (*CbS)(nil)
+
+// NewCbS returns a Counter-based Summary with capacity entries. It panics if
+// capacity is not positive: a zero-entry tracker cannot provide any bound.
+func NewCbS(capacity int) *CbS {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("streaming: CbS capacity must be positive, got %d", capacity))
+	}
+	return &CbS{
+		keys:   make([]uint32, capacity),
+		counts: make([]uint64, capacity),
+		used:   make([]bool, capacity),
+		index:  make(map[uint32]int, capacity),
+	}
+}
+
+// Observe implements the CbS update rule (Figure 3 of the paper): increment
+// on hit; otherwise replace the minimum entry's address with the new key and
+// increment its counter.
+func (c *CbS) Observe(key uint32) {
+	if slot, ok := c.index[key]; ok {
+		c.counts[slot]++
+		return
+	}
+	// Prefer an unused slot (counter value 0, the true minimum).
+	if len(c.index) < len(c.keys) {
+		for slot := range c.used {
+			if !c.used[slot] {
+				c.used[slot] = true
+				c.keys[slot] = key
+				c.counts[slot] = 1
+				c.index[key] = slot
+				return
+			}
+		}
+	}
+	slot := c.minSlot()
+	delete(c.index, c.keys[slot])
+	c.keys[slot] = key
+	c.counts[slot]++
+	c.index[key] = slot
+}
+
+func (c *CbS) minSlot() int {
+	best, bestCount := -1, uint64(0)
+	for slot, u := range c.used {
+		if !u {
+			continue
+		}
+		if best == -1 || c.counts[slot] < bestCount {
+			best, bestCount = slot, c.counts[slot]
+		}
+	}
+	return best
+}
+
+func (c *CbS) maxSlot() int {
+	best, bestCount := -1, uint64(0)
+	for slot, u := range c.used {
+		if !u {
+			continue
+		}
+		if best == -1 || c.counts[slot] > bestCount {
+			best, bestCount = slot, c.counts[slot]
+		}
+	}
+	return best
+}
+
+// Estimate reports the written counter for on-table keys and Min otherwise.
+func (c *CbS) Estimate(key uint32) uint64 {
+	if slot, ok := c.index[key]; ok {
+		return c.counts[slot]
+	}
+	return c.Min()
+}
+
+// Contains reports whether key currently occupies a table entry.
+func (c *CbS) Contains(key uint32) bool {
+	_, ok := c.index[key]
+	return ok
+}
+
+// Min reports the minimum counter value; 0 while any entry is unused.
+func (c *CbS) Min() uint64 {
+	if len(c.index) < len(c.keys) {
+		return 0
+	}
+	return c.counts[c.minSlot()]
+}
+
+// Max reports an entry holding the maximum counter value.
+func (c *CbS) Max() (uint32, uint64, bool) {
+	slot := c.maxSlot()
+	if slot < 0 {
+		return 0, 0, false
+	}
+	return c.keys[slot], c.counts[slot], true
+}
+
+// DecrementMaxToMin lowers the maximum entry's counter to the table minimum
+// and returns its key — the Mithril greedy RFM step.
+func (c *CbS) DecrementMaxToMin() (uint32, bool) {
+	slot := c.maxSlot()
+	if slot < 0 {
+		return 0, false
+	}
+	c.counts[slot] = c.Min()
+	return c.keys[slot], true
+}
+
+// Spread is Max − Min; 0 for an empty table.
+func (c *CbS) Spread() uint64 {
+	_, maxCount, ok := c.Max()
+	if !ok {
+		return 0
+	}
+	return maxCount - c.Min()
+}
+
+// Len reports the number of occupied entries.
+func (c *CbS) Len() int { return len(c.index) }
+
+// Cap reports the table capacity Nentry.
+func (c *CbS) Cap() int { return len(c.keys) }
+
+// Reset clears all entries and counters.
+func (c *CbS) Reset() {
+	for slot := range c.used {
+		c.used[slot] = false
+		c.counts[slot] = 0
+		c.keys[slot] = 0
+	}
+	c.index = make(map[uint32]int, len(c.keys))
+}
+
+// Entries returns a snapshot of (key, count) pairs in slot order, used by
+// diagnostics and tests.
+func (c *CbS) Entries() []Entry {
+	out := make([]Entry, 0, len(c.index))
+	for slot, u := range c.used {
+		if u {
+			out = append(out, Entry{Key: c.keys[slot], Count: c.counts[slot]})
+		}
+	}
+	return out
+}
+
+// Entry is one (address, estimated count) pair of a summary snapshot.
+type Entry struct {
+	Key   uint32
+	Count uint64
+}

@@ -1,0 +1,21 @@
+// Package streaming implements the frequent-items streaming algorithms that
+// RowHammer trackers are built from (Section II-C.4 and III of the Mithril
+// paper):
+//
+//   - Counter-based Summary (CbS, a.k.a. Misra–Gries / Space-Saving): the
+//     tracking mechanism of Graphene and Mithril. Two implementations are
+//     provided — a scan-based reference (CbS) and an O(1)-per-update bucketed
+//     Stream-Summary (SpaceSaving) — which are property-tested against each
+//     other.
+//   - Lossy Counting (Manku–Motwani): the tracking mechanism of TWiCe.
+//   - Count-Min Sketch and dual interleaved Counting Bloom Filters: the
+//     tracking mechanism of BlockHammer.
+//
+// CbS maintains, for every key, the two bounds the Mithril proof relies on:
+//
+//	(1) actual ≤ estimated            (lower bound on safety)
+//	(2) estimated ≤ actual + Min      (upper bound enabling greedy decrement)
+//
+// where Min is the minimum counter in the table. Both are enforced by tests
+// in cbs_test.go, including under the RFM-style DecrementToMin operation.
+package streaming

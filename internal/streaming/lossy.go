@@ -1,0 +1,123 @@
+package streaming
+
+import "fmt"
+
+// LossyCounting implements the Manku–Motwani lossy counting algorithm, the
+// tracking mechanism underlying TWiCe. The stream is divided into buckets of
+// width W; each tracked key stores its observed frequency f and the maximum
+// possible undercount Δ (the bucket id at insertion). At bucket boundaries,
+// entries with f + Δ ≤ current bucket id are pruned.
+//
+// Like CbS it provides both bounds needed for deterministic RH protection —
+// true ≤ f + Δ and f ≤ true — but it is algorithmically less efficient: the
+// live table can grow to several times 1/ε entries and the Δ slack inflates
+// the bound used for greedy RFM selection (see analysis.LossyBoundM and the
+// dotted lines of Figure 6).
+type LossyCounting struct {
+	width   int // bucket width W = ⌈1/ε⌉
+	current int // current bucket id
+	seen    int // items observed in the current bucket
+	table   map[uint32]*lossyEntry
+	maxLive int // high-water mark of table occupancy
+}
+
+type lossyEntry struct {
+	f     uint64
+	delta uint64
+}
+
+// NewLossyCounting returns a lossy counter with error bound ε = 1/width.
+func NewLossyCounting(width int) *LossyCounting {
+	if width <= 0 {
+		panic(fmt.Sprintf("streaming: LossyCounting width must be positive, got %d", width))
+	}
+	return &LossyCounting{width: width, current: 1, table: make(map[uint32]*lossyEntry)}
+}
+
+// Observe records one occurrence of key.
+func (l *LossyCounting) Observe(key uint32) {
+	if e, ok := l.table[key]; ok {
+		e.f++
+	} else {
+		l.table[key] = &lossyEntry{f: 1, delta: uint64(l.current - 1)}
+		if len(l.table) > l.maxLive {
+			l.maxLive = len(l.table)
+		}
+	}
+	l.seen++
+	if l.seen == l.width {
+		l.prune()
+		l.seen = 0
+		l.current++
+	}
+}
+
+func (l *LossyCounting) prune() {
+	for key, e := range l.table {
+		if e.f+e.delta <= uint64(l.current) {
+			delete(l.table, key)
+		}
+	}
+}
+
+// Estimate reports the conservative upper bound f + Δ for on-table keys and
+// the maximum undercount (current bucket id − 1) otherwise, mirroring how a
+// deterministic RH scheme must treat untracked rows.
+func (l *LossyCounting) Estimate(key uint32) uint64 {
+	if e, ok := l.table[key]; ok {
+		return e.f + e.delta
+	}
+	return uint64(l.current - 1)
+}
+
+// ObservedFrequency reports the exact observed-since-insertion frequency f
+// (0 for untracked keys); true count is in [f, f+Δ].
+func (l *LossyCounting) ObservedFrequency(key uint32) uint64 {
+	if e, ok := l.table[key]; ok {
+		return e.f
+	}
+	return 0
+}
+
+// Contains reports whether key is currently tracked.
+func (l *LossyCounting) Contains(key uint32) bool {
+	_, ok := l.table[key]
+	return ok
+}
+
+// Len is the current number of tracked entries.
+func (l *LossyCounting) Len() int { return len(l.table) }
+
+// MaxLive is the high-water mark of tracked entries — the size the hardware
+// table must provision, which is the area-relevant number for TWiCe.
+func (l *LossyCounting) MaxLive() int { return l.maxLive }
+
+// Width reports the bucket width (1/ε).
+func (l *LossyCounting) Width() int { return l.width }
+
+// Max returns the key with the largest conservative estimate, for greedy
+// selection experiments. ok is false when nothing is tracked.
+func (l *LossyCounting) Max() (uint32, uint64, bool) {
+	var (
+		bestKey uint32
+		bestEst uint64
+		found   bool
+	)
+	for key, e := range l.table {
+		if est := e.f + e.delta; !found || est > bestEst || (est == bestEst && key < bestKey) {
+			bestKey, bestEst, found = key, est, true
+		}
+	}
+	return bestKey, bestEst, found
+}
+
+// Drop removes a key (TWiCe prunes a row after its victims are refreshed).
+func (l *LossyCounting) Drop(key uint32) { delete(l.table, key) }
+
+// Reset clears the tracker.
+func (l *LossyCounting) Reset() {
+	l.table = make(map[uint32]*lossyEntry)
+	l.current = 1
+	l.seen = 0
+	l.maxLive = 0
+}

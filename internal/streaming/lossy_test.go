@@ -1,0 +1,153 @@
+package streaming
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLossyCountingBounds(t *testing.T) {
+	// Classic lossy counting guarantees, checked continuously:
+	//   f ≤ true ≤ f + Δ  and  Δ ≤ ⌈S/width⌉.
+	l := NewLossyCounting(100)
+	r := NewRand(5)
+	actual := map[uint32]uint64{}
+	for i := 0; i < 20000; i++ {
+		var k uint32
+		if r.Float64() < 0.5 {
+			k = uint32(r.Intn(5))
+		} else {
+			k = uint32(r.Intn(5000)) + 10
+		}
+		l.Observe(k)
+		actual[k]++
+		if l.Contains(k) {
+			f := l.ObservedFrequency(k)
+			if f > actual[k] {
+				t.Fatalf("step %d: observed frequency %d exceeds true count %d", i, f, actual[k])
+			}
+			if est := l.Estimate(k); est < actual[k] && actual[k]-est > 0 {
+				// true ≤ f+Δ must hold for tracked keys whose tracking
+				// never lapsed; for re-inserted keys Δ covers the gap.
+				if f+uint64(l.current-1) < actual[k] {
+					t.Fatalf("step %d: upper bound violated for key %d", i, k)
+				}
+			}
+		}
+	}
+}
+
+func TestLossyCountingHeavyHitterNeverPruned(t *testing.T) {
+	// A key with frequency > ε·S must survive: with width=50 (ε=0.02), a
+	// key appearing every other observation can never be pruned.
+	l := NewLossyCounting(50)
+	r := NewRand(9)
+	for i := 0; i < 10000; i++ {
+		if i%2 == 0 {
+			l.Observe(7)
+		} else {
+			l.Observe(uint32(r.Intn(100000)) + 100)
+		}
+	}
+	if !l.Contains(7) {
+		t.Fatal("heavy hitter was pruned")
+	}
+	if f := l.ObservedFrequency(7); f < 4000 {
+		t.Fatalf("heavy hitter frequency %d unexpectedly low", f)
+	}
+}
+
+func TestLossyCountingPrunesColdKeys(t *testing.T) {
+	l := NewLossyCounting(10)
+	for i := 0; i < 1000; i++ {
+		l.Observe(uint32(i)) // every key unique: all prunable
+	}
+	if l.Len() > 20 {
+		t.Fatalf("cold keys not pruned: %d live entries", l.Len())
+	}
+	if l.MaxLive() < l.Len() {
+		t.Fatal("MaxLive below current occupancy")
+	}
+}
+
+func TestLossyCountingTableLargerThanCbSForSameGuarantee(t *testing.T) {
+	// The paper's Figure 6 claim, algorithmically: for the same error
+	// guarantee ε = 1/N, lossy counting's live table exceeds N entries on
+	// adversarial streams while CbS is capped at exactly N.
+	const n = 64
+	l := NewLossyCounting(n)
+	c := NewCbS(n)
+	r := NewRand(11)
+	for i := 0; i < 50000; i++ {
+		k := uint32(r.Intn(2000))
+		l.Observe(k)
+		c.Observe(k)
+	}
+	if l.MaxLive() <= n {
+		t.Fatalf("lossy counting high-water mark %d should exceed N=%d on a dispersed stream", l.MaxLive(), n)
+	}
+	if c.Len() > n {
+		t.Fatalf("CbS exceeded its capacity: %d > %d", c.Len(), n)
+	}
+}
+
+func TestLossyCountingMaxAndDrop(t *testing.T) {
+	l := NewLossyCounting(1000)
+	for i := 0; i < 30; i++ {
+		l.Observe(3)
+	}
+	for i := 0; i < 10; i++ {
+		l.Observe(4)
+	}
+	key, est, ok := l.Max()
+	if !ok || key != 3 || est < 30 {
+		t.Fatalf("Max() = (%d, %d, %v), want key 3 with est ≥ 30", key, est, ok)
+	}
+	l.Drop(3)
+	if l.Contains(3) {
+		t.Fatal("Drop did not remove the key")
+	}
+	key, _, ok = l.Max()
+	if !ok || key != 4 {
+		t.Fatalf("after Drop, Max = %d, want 4", key)
+	}
+}
+
+func TestLossyCountingReset(t *testing.T) {
+	l := NewLossyCounting(10)
+	for i := 0; i < 100; i++ {
+		l.Observe(1)
+	}
+	l.Reset()
+	if l.Len() != 0 || l.MaxLive() != 0 || l.Contains(1) {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestLossyCountingPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLossyCounting(0) should panic")
+		}
+	}()
+	NewLossyCounting(0)
+}
+
+func TestLossyCountingFrequencyLowerBoundProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		l := NewLossyCounting(32)
+		r := NewRand(seed)
+		actual := map[uint32]uint64{}
+		for i := 0; i < 2000; i++ {
+			k := uint32(r.Intn(50))
+			l.Observe(k)
+			actual[k]++
+			if l.ObservedFrequency(k) > actual[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+package streaming
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCMSNeverUnderestimates(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := NewCountMinSketch(4, 64)
+		r := NewRand(seed)
+		actual := map[uint32]uint64{}
+		for i := 0; i < 3000; i++ {
+			k := uint32(r.Intn(500))
+			s.Observe(k)
+			actual[k]++
+		}
+		for k, act := range actual {
+			if s.Estimate(k) < act {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCMSExactForSparseKeys(t *testing.T) {
+	// With few keys and a wide sketch, estimates should be exact.
+	s := NewCountMinSketch(4, 4096)
+	for i := 0; i < 100; i++ {
+		s.Observe(1)
+	}
+	for i := 0; i < 7; i++ {
+		s.Observe(2)
+	}
+	if got := s.Estimate(1); got != 100 {
+		t.Errorf("Estimate(1) = %d, want 100", got)
+	}
+	if got := s.Estimate(2); got != 7 {
+		t.Errorf("Estimate(2) = %d, want 7", got)
+	}
+	if got := s.Estimate(999); got != 0 {
+		t.Errorf("Estimate(999) = %d, want 0", got)
+	}
+}
+
+func TestCMSReset(t *testing.T) {
+	s := NewCountMinSketch(2, 32)
+	s.Observe(5)
+	s.Reset()
+	if got := s.Estimate(5); got != 0 {
+		t.Fatalf("after Reset, Estimate = %d, want 0", got)
+	}
+}
+
+func TestCMSGeometryAccessorsAndPanics(t *testing.T) {
+	s := NewCountMinSketch(3, 17)
+	if s.Rows() != 3 || s.Width() != 17 {
+		t.Errorf("geometry = %dx%d, want 3x17", s.Rows(), s.Width())
+	}
+	for _, build := range []func(){
+		func() { NewCountMinSketch(0, 8) },
+		func() { NewCountMinSketch(2, 0) },
+		func() { NewDualCBF(2, 8, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad geometry should panic")
+				}
+			}()
+			build()
+		}()
+	}
+}
+
+func TestDualCBFRotationBoundsHistory(t *testing.T) {
+	// After a full epoch of unrelated keys, an old key's estimate must have
+	// been forgotten (that's the point of interleaving).
+	d := NewDualCBF(4, 1024, 100)
+	for i := 0; i < 50; i++ {
+		d.Observe(7)
+	}
+	if est := d.Estimate(7); est < 50 {
+		t.Fatalf("fresh estimate %d, want ≥ 50", est)
+	}
+	// Two half-epoch rotations with disjoint traffic clear key 7.
+	for i := 0; i < 200; i++ {
+		d.Observe(uint32(1000 + i))
+	}
+	if est := d.Estimate(7); est > 10 {
+		t.Fatalf("stale estimate %d survived two rotations", est)
+	}
+}
+
+func TestDualCBFNeverUnderestimatesRecentEpoch(t *testing.T) {
+	// Within a half epoch, the active filter has seen every recent ACT, so
+	// it cannot underestimate counts accumulated in that span.
+	d := NewDualCBF(4, 2048, 1000)
+	count := uint64(0)
+	for i := 0; i < 400; i++ {
+		d.Observe(3)
+		count++
+		if est := d.Estimate(3); est < count {
+			t.Fatalf("step %d: estimate %d < true %d", i, est, count)
+		}
+	}
+}
+
+func TestDualCBFReset(t *testing.T) {
+	d := NewDualCBF(2, 64, 10)
+	for i := 0; i < 9; i++ {
+		d.Observe(1)
+	}
+	d.Reset()
+	if got := d.Estimate(1); got != 0 {
+		t.Fatalf("after Reset, Estimate = %d, want 0", got)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(123), NewRand(123)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Rand is not deterministic for equal seeds")
+		}
+	}
+	if NewRand(0).Uint64() == 0 {
+		t.Fatal("zero seed should be remapped, not produce the zero fixed point")
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(77)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRandIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}

@@ -1,0 +1,303 @@
+package streaming
+
+import "fmt"
+
+// SpaceSaving is the O(1)-per-update implementation of the Counter-based
+// Summary algorithm, built on the Stream-Summary data structure of Metwally,
+// Agrawal & El Abbadi: entries with equal counts hang off a shared bucket,
+// and buckets form a doubly-linked list sorted by count. Hitting an entry
+// moves it to the neighbouring bucket in O(1); the minimum and maximum are
+// the first and last buckets, which is exactly the MinPtr/MaxPtr pair of the
+// Mithril hardware (Figure 4 of the paper).
+type SpaceSaving struct {
+	capacity int
+	entries  []ssEntry
+	free     []int          // free-slot stack
+	index    map[uint32]int // key -> entry slot
+	buckets  map[uint64]*ssBucket
+	minB     *ssBucket // head: smallest count
+	maxB     *ssBucket // tail: largest count
+}
+
+type ssEntry struct {
+	key        uint32
+	bucket     *ssBucket
+	prev, next int // entry list within bucket; -1 terminated
+}
+
+type ssBucket struct {
+	count      uint64
+	head       int // first entry slot, -1 when empty
+	prev, next *ssBucket
+}
+
+var _ Summary = (*SpaceSaving)(nil)
+
+// NewSpaceSaving returns a Stream-Summary-backed CbS with capacity entries.
+func NewSpaceSaving(capacity int) *SpaceSaving {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("streaming: SpaceSaving capacity must be positive, got %d", capacity))
+	}
+	s := &SpaceSaving{
+		capacity: capacity,
+		entries:  make([]ssEntry, capacity),
+		free:     make([]int, 0, capacity),
+		index:    make(map[uint32]int, capacity),
+		buckets:  make(map[uint64]*ssBucket),
+	}
+	for i := capacity - 1; i >= 0; i-- {
+		s.free = append(s.free, i)
+	}
+	return s
+}
+
+// bucketFor returns the bucket for count, creating and splicing it after
+// the given predecessor (which must have a smaller count, or nil to insert
+// at the head).
+func (s *SpaceSaving) bucketFor(count uint64, after *ssBucket) *ssBucket {
+	if b, ok := s.buckets[count]; ok {
+		return b
+	}
+	b := &ssBucket{count: count, head: -1}
+	s.buckets[count] = b
+	if after == nil {
+		b.next = s.minB
+		if s.minB != nil {
+			s.minB.prev = b
+		}
+		s.minB = b
+		if s.maxB == nil {
+			s.maxB = b
+		}
+		return b
+	}
+	b.prev = after
+	b.next = after.next
+	after.next = b
+	if b.next != nil {
+		b.next.prev = b
+	} else {
+		s.maxB = b
+	}
+	return b
+}
+
+func (s *SpaceSaving) detachEntry(slot int) {
+	e := &s.entries[slot]
+	b := e.bucket
+	if e.prev >= 0 {
+		s.entries[e.prev].next = e.next
+	} else {
+		b.head = e.next
+	}
+	if e.next >= 0 {
+		s.entries[e.next].prev = e.prev
+	}
+	e.prev, e.next, e.bucket = -1, -1, nil
+	if b.head == -1 {
+		s.removeBucket(b)
+	}
+}
+
+func (s *SpaceSaving) removeBucket(b *ssBucket) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		s.minB = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	} else {
+		s.maxB = b.prev
+	}
+	delete(s.buckets, b.count)
+}
+
+func (s *SpaceSaving) attachEntry(slot int, b *ssBucket) {
+	e := &s.entries[slot]
+	e.bucket = b
+	e.prev = -1
+	e.next = b.head
+	if b.head >= 0 {
+		s.entries[b.head].prev = slot
+	}
+	b.head = slot
+}
+
+// Observe implements the CbS update rule in O(1).
+func (s *SpaceSaving) Observe(key uint32) {
+	if slot, ok := s.index[key]; ok {
+		s.promote(slot, 1)
+		return
+	}
+	if len(s.free) > 0 {
+		slot := s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+		s.entries[slot] = ssEntry{key: key, prev: -1, next: -1}
+		s.index[key] = slot
+		// New entries start at count 1 (0 + increment).
+		var pred *ssBucket
+		if s.minB != nil && s.minB.count < 1 {
+			pred = s.minB
+		}
+		s.attachEntry(slot, s.bucketFor(1, pred))
+		return
+	}
+	// Replace an entry from the minimum bucket.
+	slot := s.minB.head
+	old := s.entries[slot].key
+	delete(s.index, old)
+	s.entries[slot].key = key
+	s.index[key] = slot
+	s.promote(slot, 1)
+}
+
+// promote moves the entry at slot up by delta counts.
+func (s *SpaceSaving) promote(slot int, delta uint64) {
+	b := s.entries[slot].bucket
+	target := b.count + delta
+	s.detachEntry(slot)
+	// b may have been freed by detachEntry; find the insertion predecessor
+	// starting from the bucket that preceded the target count. The common
+	// case (delta == 1, neighbour bucket exists) stays O(1).
+	var pred *ssBucket
+	if nb, ok := s.buckets[target]; ok {
+		s.attachEntry(slot, nb)
+		return
+	}
+	// Walk from b (if alive) or from min; with delta==1 this is at most one
+	// step because counts are integers.
+	if bb, ok := s.buckets[b.count]; ok {
+		pred = bb
+	} else {
+		for cur := s.minB; cur != nil && cur.count < target; cur = cur.next {
+			pred = cur
+		}
+	}
+	for pred != nil && pred.next != nil && pred.next.count < target {
+		pred = pred.next
+	}
+	if pred != nil && pred.count >= target {
+		pred = pred.prev
+	}
+	s.attachEntry(slot, s.bucketFor(target, pred))
+}
+
+// Estimate reports the written counter for on-table keys and Min otherwise.
+func (s *SpaceSaving) Estimate(key uint32) uint64 {
+	if slot, ok := s.index[key]; ok {
+		return s.entries[slot].bucket.count
+	}
+	return s.Min()
+}
+
+// Contains reports whether key is on-table.
+func (s *SpaceSaving) Contains(key uint32) bool {
+	_, ok := s.index[key]
+	return ok
+}
+
+// Min reports the minimum counter value (0 while the table has free slots).
+func (s *SpaceSaving) Min() uint64 {
+	if len(s.free) > 0 || s.minB == nil {
+		return 0
+	}
+	return s.minB.count
+}
+
+// Max reports an entry with the maximum counter value.
+func (s *SpaceSaving) Max() (uint32, uint64, bool) {
+	if s.maxB == nil {
+		return 0, 0, false
+	}
+	return s.entries[s.maxB.head].key, s.maxB.count, true
+}
+
+// DecrementMaxToMin moves one maximum entry down to the minimum count — the
+// Mithril greedy RFM step — in O(1).
+func (s *SpaceSaving) DecrementMaxToMin() (uint32, bool) {
+	if s.maxB == nil {
+		return 0, false
+	}
+	slot := s.maxB.head
+	key := s.entries[slot].key
+	target := s.Min()
+	if s.maxB.count == target {
+		return key, true // already at min; nothing to move
+	}
+	s.detachEntry(slot)
+	if nb, ok := s.buckets[target]; ok {
+		s.attachEntry(slot, nb)
+	} else {
+		// target is below every live bucket: insert at head.
+		s.attachEntry(slot, s.bucketFor(target, nil))
+	}
+	return key, true
+}
+
+// Spread is Max − Min.
+func (s *SpaceSaving) Spread() uint64 {
+	if s.maxB == nil {
+		return 0
+	}
+	return s.maxB.count - s.Min()
+}
+
+// Len reports the number of occupied entries.
+func (s *SpaceSaving) Len() int { return len(s.index) }
+
+// Cap reports the table capacity.
+func (s *SpaceSaving) Cap() int { return s.capacity }
+
+// Reset clears the structure.
+func (s *SpaceSaving) Reset() {
+	s.index = make(map[uint32]int, s.capacity)
+	s.buckets = make(map[uint64]*ssBucket)
+	s.minB, s.maxB = nil, nil
+	s.free = s.free[:0]
+	for i := s.capacity - 1; i >= 0; i-- {
+		s.free = append(s.free, i)
+	}
+}
+
+// Entries returns a snapshot of (key, count) pairs for tests/diagnostics.
+func (s *SpaceSaving) Entries() []Entry {
+	out := make([]Entry, 0, len(s.index))
+	for b := s.minB; b != nil; b = b.next {
+		for slot := b.head; slot >= 0; slot = s.entries[slot].next {
+			out = append(out, Entry{Key: s.entries[slot].key, Count: b.count})
+		}
+	}
+	return out
+}
+
+// checkInvariants validates the internal structure; used by tests.
+func (s *SpaceSaving) checkInvariants() error {
+	seen := 0
+	var prev *ssBucket
+	for b := s.minB; b != nil; b = b.next {
+		if prev != nil && prev.count >= b.count {
+			return fmt.Errorf("buckets out of order: %d then %d", prev.count, b.count)
+		}
+		if b.prev != prev {
+			return fmt.Errorf("bucket back-link broken at count %d", b.count)
+		}
+		if b.head == -1 {
+			return fmt.Errorf("empty bucket with count %d survived", b.count)
+		}
+		for slot := b.head; slot >= 0; slot = s.entries[slot].next {
+			if s.entries[slot].bucket != b {
+				return fmt.Errorf("entry %d bucket pointer mismatch", slot)
+			}
+			seen++
+		}
+		prev = b
+	}
+	if s.maxB != prev {
+		return fmt.Errorf("maxB does not point at last bucket")
+	}
+	if seen != len(s.index) {
+		return fmt.Errorf("entry count mismatch: %d linked, %d indexed", seen, len(s.index))
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package streaming
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWrapLessAcrossWraparound(t *testing.T) {
+	cases := []struct {
+		a, b Wrap16
+		want bool
+	}{
+		{0, 1, true},
+		{1, 0, false},
+		{65535, 0, true}, // wraps: 0 is "after" 65535
+		{0, 65535, false},
+		{65000, 200, true},
+		{5, 5, false},
+	}
+	for _, c := range cases {
+		if got := WrapLess(c.a, c.b); got != c.want {
+			t.Errorf("WrapLess(%d, %d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestWrapOrderPreservedWithinSpread(t *testing.T) {
+	// Property: for any base and true offsets da < db < 2^15, the wrapped
+	// values order correctly — the wrapping-counter guarantee of IV-E.
+	f := func(base uint16, daRaw, dbRaw uint16) bool {
+		da := daRaw % 16384
+		db := da + 1 + dbRaw%(16383-da%16383+1)
+		if db >= 32768 {
+			db = 32767
+		}
+		if da >= db {
+			return true // skip degenerate
+		}
+		a := WrapAdd(Wrap16(base), da)
+		b := WrapAdd(Wrap16(base), db)
+		return WrapLess(a, b) && !WrapLess(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWrapDiff(t *testing.T) {
+	if got := WrapDiff(65530, 10); got != 16 {
+		t.Errorf("WrapDiff(65530, 10) = %d, want 16", got)
+	}
+	if got := WrapDiff(5, 5); got != 0 {
+		t.Errorf("WrapDiff(5,5) = %d, want 0", got)
+	}
+}
+
+func TestWrapCounterBits(t *testing.T) {
+	cases := []struct {
+		spread uint64
+		want   int
+	}{
+		{0, 1},
+		{1, 2},
+		{2, 3},
+		{3, 3},
+		{4, 4},
+		{1000, 11},  // 2^10 = 1024 > 1000
+		{32767, 16}, // 2^15 = 32768 > 32767
+		{32768, 17},
+	}
+	for _, c := range cases {
+		if got := WrapCounterBits(c.spread); got != c.want {
+			t.Errorf("WrapCounterBits(%d) = %d, want %d", c.spread, got, c.want)
+		}
+	}
+}
+
+func TestWrapCounterBitsProperty(t *testing.T) {
+	f := func(spread uint32) bool {
+		b := WrapCounterBits(uint64(spread))
+		return (uint64(1)<<uint(b-1)) > uint64(spread) &&
+			(b == 1 || (uint64(1)<<uint(b-2)) <= uint64(spread))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

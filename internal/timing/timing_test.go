@@ -1,0 +1,132 @@
+package timing
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDDR5Validates(t *testing.T) {
+	p := DDR5()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("DDR5() should validate: %v", err)
+	}
+}
+
+func TestDDR5TableIIIValues(t *testing.T) {
+	p := DDR5()
+	cases := []struct {
+		name string
+		got  PicoSeconds
+		want PicoSeconds
+	}{
+		{"tRFC", p.TRFC, 295 * Nanosecond},
+		{"tRC", p.TRC, 48640},
+		{"tRFM", p.TRFM, 97280},
+		{"tRCD", p.TRCD, 16640},
+		{"tRP", p.TRP, 16640},
+		{"tCL", p.TCL, 16640},
+		{"tREFW", p.TREFW, 32 * Millisecond},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	if p.Channels != 2 || p.Ranks != 1 || p.Banks != 32 {
+		t.Errorf("organization = %d ch / %d ranks / %d banks, want 2/1/32", p.Channels, p.Ranks, p.Banks)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"zero tCK", func(p *Params) { p.TCK = 0 }},
+		{"negative tRC", func(p *Params) { p.TRC = -1 }},
+		{"zero tRFC", func(p *Params) { p.TRFC = 0 }},
+		{"tREFI >= tREFW", func(p *Params) { p.TREFI = p.TREFW }},
+		{"tRFC >= tREFI", func(p *Params) { p.TRFC = p.TREFI }},
+		{"zero channels", func(p *Params) { p.Channels = 0 }},
+		{"zero banks", func(p *Params) { p.Banks = 0 }},
+		{"zero rows", func(p *Params) { p.Rows = 0 }},
+		{"zero refresh groups", func(p *Params) { p.RefreshGroups = 0 }},
+	}
+	for _, m := range mutations {
+		p := DDR5()
+		m.mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate() = nil, want error", m.name)
+		}
+	}
+}
+
+func TestPicoSecondsString(t *testing.T) {
+	cases := []struct {
+		v    PicoSeconds
+		want string
+	}{
+		{500, "500ps"},
+		{1500, "1.500ns"},
+		{2 * Microsecond, "2.000us"},
+		{32 * Millisecond, "32.000ms"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.v), got, c.want)
+		}
+	}
+	if !strings.Contains((295 * Nanosecond).String(), "ns") {
+		t.Error("295ns should render in nanoseconds")
+	}
+}
+
+func TestACTsPerREFW(t *testing.T) {
+	p := DDR5()
+	got := p.ACTsPerREFW()
+	// tREFW/tRC = 32ms/48.64ns = 657894; minus the ~7% stolen by refresh
+	// (tRFC/tREFI = 295/3906 ≈ 0.0755) → ≈ 608000.
+	if got < 580000 || got > 640000 {
+		t.Fatalf("ACTsPerREFW() = %d, want ≈ 608k", got)
+	}
+}
+
+func TestRFMIntervalsPerREFW(t *testing.T) {
+	p := DDR5()
+	// Paper's example plugs RFMTH into W; sanity-check monotonicity and a
+	// hand-computed value: RFMTH=64 → (32ms·(1−0.0755)) / (48.64ns·64+97.28ns)
+	// ≈ 29.58e6 ns / 3210 ns ≈ 9216.
+	w64 := p.RFMIntervalsPerREFW(64)
+	if w64 < 8800 || w64 > 9700 {
+		t.Fatalf("W(RFMTH=64) = %d, want ≈ 9216", w64)
+	}
+	if w32, w128 := p.RFMIntervalsPerREFW(32), p.RFMIntervalsPerREFW(128); !(w32 > w64 && w64 > w128) {
+		t.Errorf("W should decrease with RFMTH: W(32)=%d W(64)=%d W(128)=%d", w32, w64, w128)
+	}
+	if p.RFMIntervalsPerREFW(0) != 0 {
+		t.Error("W(0) should be 0")
+	}
+}
+
+func TestRFMIntervalsCeiling(t *testing.T) {
+	// Property: W·(tRC·RFMTH + tRFM) ≥ available time > (W−1)·(tRC·RFMTH+tRFM).
+	p := DDR5()
+	f := func(raw uint16) bool {
+		rfmTH := int(raw%512) + 1
+		w := p.RFMIntervalsPerREFW(rfmTH)
+		avail := float64(p.TREFW) - float64(p.TREFW)/float64(p.TREFI)*float64(p.TRFC)
+		den := float64(p.TRC)*float64(rfmTH) + float64(p.TRFM)
+		return float64(w)*den >= avail && float64(w-1)*den < avail
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalBanks(t *testing.T) {
+	p := DDR5()
+	if got := p.TotalBanks(); got != 64 {
+		t.Fatalf("TotalBanks() = %d, want 64 (2ch × 1rank × 32banks)", got)
+	}
+}

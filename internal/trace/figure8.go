@@ -1,0 +1,60 @@
+package trace
+
+import "mithril/internal/mc"
+
+// Figure 8 support: the paper characterizes lbm's large-object-sweep
+// behaviour by plotting accessed rows over a large window, a small window,
+// and the activation pattern within the small window. RowSeries extracts
+// exactly those series from a generator.
+
+// RowSample is one point of the Figure 8 scatter plots.
+type RowSample struct {
+	Index int // access sequence number (proxy for time)
+	Row   int
+	Bank  int
+}
+
+// RowSeries replays n accesses of gen through the address mapper and
+// returns the touched (row, bank) sequence.
+func RowSeries(gen Generator, mapper *mc.AddressMapper, n int) []RowSample {
+	out := make([]RowSample, 0, n)
+	space := mapper.AddressSpace()
+	for i := 0; i < n; i++ {
+		a := gen.Next()
+		loc := mapper.Map(a.Addr % space)
+		out = append(out, RowSample{Index: i, Row: loc.Row, Bank: loc.GlobalBank})
+	}
+	return out
+}
+
+// ActivationSeries filters RowSeries down to the accesses that would
+// activate a row under an open-page policy with per-bank open-row state —
+// the Figure 8(c) view. Conflicting accesses from other banks are retained
+// per bank.
+func ActivationSeries(samples []RowSample) []RowSample {
+	open := map[int]int{} // bank -> open row
+	acts := make([]RowSample, 0, len(samples)/4+1)
+	for _, s := range samples {
+		if row, ok := open[s.Bank]; !ok || row != s.Row {
+			open[s.Bank] = s.Row
+			acts = append(acts, s)
+		}
+	}
+	return acts
+}
+
+// ConcentrationStats quantifies the paper's observation: within a small
+// window, accesses concentrate on few rows (high per-row counts) while the
+// large-window footprint is wide. It reports the number of distinct rows
+// and the maximum accesses to a single row within the sample.
+func ConcentrationStats(samples []RowSample) (distinctRows, maxPerRow int) {
+	counts := map[[2]int]int{}
+	for _, s := range samples {
+		k := [2]int{s.Bank, s.Row}
+		counts[k]++
+		if counts[k] > maxPerRow {
+			maxPerRow = counts[k]
+		}
+	}
+	return len(counts), maxPerRow
+}

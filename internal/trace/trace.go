@@ -1,0 +1,199 @@
+// Package trace defines the instruction-stream abstraction consumed by the
+// core model and the synthetic workload generators that substitute for the
+// paper's SPEC CPU2017 / SPLASH-2 / GAP traces (substitution documented in
+// DESIGN.md §3). Generators are deterministic given their seed, so every
+// experiment is reproducible.
+package trace
+
+import (
+	"fmt"
+
+	"mithril/internal/streaming"
+)
+
+// Access is one memory operation of a core's instruction stream.
+type Access struct {
+	// Gap is the number of non-memory instructions executed before this
+	// access (controls memory intensity).
+	Gap int
+	// Addr is the physical byte address (cache-line aligned by the core).
+	Addr uint64
+	// Write marks stores.
+	Write bool
+	// Serialize forces the core to drain outstanding misses first
+	// (models dependent pointer-chasing loads).
+	Serialize bool
+	// Uncached bypasses the LLC (models CLFLUSH-based RowHammer loops).
+	Uncached bool
+}
+
+// Generator produces an endless access stream.
+type Generator interface {
+	Name() string
+	Next() Access
+}
+
+// Stream sweeps a footprint sequentially cache line by cache line — the
+// archetypal streaming kernel (and the "large object sweep" of Figure 8 when
+// the footprint spans many DRAM rows).
+type Stream struct {
+	name       string
+	base       uint64
+	footprint  uint64
+	gap        int
+	writeEvery int // every n-th access is a store (0 = never)
+	pos        uint64
+	count      int
+}
+
+// NewStream builds a sequential sweeper over [base, base+footprint).
+func NewStream(name string, base, footprint uint64, gap, writeEvery int) *Stream {
+	if footprint < 64 {
+		panic(fmt.Sprintf("trace: footprint %d too small", footprint))
+	}
+	return &Stream{name: name, base: base, footprint: footprint, gap: gap, writeEvery: writeEvery}
+}
+
+// Name implements Generator.
+func (s *Stream) Name() string { return s.name }
+
+// Next implements Generator.
+func (s *Stream) Next() Access {
+	addr := s.base + s.pos
+	s.pos = (s.pos + 64) % s.footprint
+	s.count++
+	w := s.writeEvery > 0 && s.count%s.writeEvery == 0
+	return Access{Gap: s.gap, Addr: addr, Write: w}
+}
+
+// Random touches uniformly random lines of its footprint — a low-locality,
+// high-MPKI pattern (mcf/omnetpp-like).
+type Random struct {
+	name      string
+	base      uint64
+	footprint uint64
+	gap       int
+	writeFrac float64
+	rng       *streaming.Rand
+}
+
+// NewRandom builds a uniform random generator.
+func NewRandom(name string, base, footprint uint64, gap int, writeFrac float64, seed uint64) *Random {
+	if footprint < 64 {
+		panic(fmt.Sprintf("trace: footprint %d too small", footprint))
+	}
+	return &Random{name: name, base: base, footprint: footprint, gap: gap, writeFrac: writeFrac, rng: streaming.NewRand(seed)}
+}
+
+// Name implements Generator.
+func (r *Random) Name() string { return r.name }
+
+// Next implements Generator.
+func (r *Random) Next() Access {
+	line := r.rng.Uint64() % (r.footprint / 64)
+	return Access{
+		Gap:   r.gap,
+		Addr:  r.base + line*64,
+		Write: r.rng.Float64() < r.writeFrac,
+	}
+}
+
+// PointerChase issues dependent random loads (each must complete before the
+// next can issue), modelling linked-data-structure traversal.
+type PointerChase struct {
+	inner *Random
+}
+
+// NewPointerChase builds a serialized random-walk generator.
+func NewPointerChase(name string, base, footprint uint64, gap int, seed uint64) *PointerChase {
+	return &PointerChase{inner: NewRandom(name, base, footprint, gap, 0, seed)}
+}
+
+// Name implements Generator.
+func (p *PointerChase) Name() string { return p.inner.Name() }
+
+// Next implements Generator.
+func (p *PointerChase) Next() Access {
+	a := p.inner.Next()
+	a.Serialize = true
+	return a
+}
+
+// Strided walks its footprint with a fixed line stride — FFT/RADIX-style
+// butterfly and bucket patterns with moderate row locality.
+type Strided struct {
+	name        string
+	base        uint64
+	footprint   uint64
+	strideLines uint64
+	gap         int
+	pos         uint64
+}
+
+// NewStrided builds a strided generator (stride expressed in cache lines).
+func NewStrided(name string, base, footprint uint64, strideLines uint64, gap int) *Strided {
+	if strideLines == 0 {
+		strideLines = 1
+	}
+	return &Strided{name: name, base: base, footprint: footprint, strideLines: strideLines, gap: gap}
+}
+
+// Name implements Generator.
+func (s *Strided) Name() string { return s.name }
+
+// Next implements Generator.
+func (s *Strided) Next() Access {
+	addr := s.base + s.pos
+	s.pos = (s.pos + s.strideLines*64) % s.footprint
+	return Access{Gap: s.gap, Addr: addr}
+}
+
+// GatherScatter interleaves a sequential sweep (edge list) with random
+// lookups (node table) — a PageRank-like pattern.
+type GatherScatter struct {
+	name   string
+	stream *Stream
+	random *Random
+	flip   bool
+}
+
+// NewGatherScatter builds the composite generator; the random side reuses
+// the same footprint offset by half.
+func NewGatherScatter(name string, base, footprint uint64, gap int, seed uint64) *GatherScatter {
+	half := footprint / 2
+	return &GatherScatter{
+		name:   name,
+		stream: NewStream(name+"-edges", base, half, gap, 0),
+		random: NewRandom(name+"-nodes", base+half, half, gap, 0.3, seed),
+	}
+}
+
+// Name implements Generator.
+func (g *GatherScatter) Name() string { return g.name }
+
+// Next implements Generator.
+func (g *GatherScatter) Next() Access {
+	g.flip = !g.flip
+	if g.flip {
+		return g.stream.Next()
+	}
+	return g.random.Next()
+}
+
+// ComputeBound interleaves long compute phases with sparse accesses —
+// the cache-friendly end of mix-blend.
+type ComputeBound struct {
+	inner *Stream
+}
+
+// NewComputeBound builds a low-MPKI generator over a small (LLC-resident)
+// footprint.
+func NewComputeBound(name string, base uint64, seed uint64) *ComputeBound {
+	return &ComputeBound{inner: NewStream(name, base, 1<<20, 400, 7)}
+}
+
+// Name implements Generator.
+func (c *ComputeBound) Name() string { return c.inner.Name() }
+
+// Next implements Generator.
+func (c *ComputeBound) Next() Access { return c.inner.Next() }

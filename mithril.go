@@ -1,0 +1,113 @@
+// Package mithril is the public API of the Mithril reproduction (Kim et
+// al., "Mithril: Cooperative Row Hammer Protection on Commodity DRAM
+// Leveraging Managed Refresh", HPCA 2022): a DDR5 system simulator with
+// every mitigation scheme of the paper's Table I, the closed-form Theorem
+// 1/2 configuration math, and experiment drivers that regenerate each
+// evaluation figure and table.
+//
+// Quick start:
+//
+//	scheme, _ := mithril.NewScheme("mithril", mithril.SchemeOptions{
+//	    Timing: mithril.DDR5(), FlipTH: 6250,
+//	})
+//	cmp, _ := mithril.Compare(mithril.SimConfig{
+//	    Params: mithril.DDR5(), FlipTH: 6250,
+//	    Scheduler: mithril.BLISS, Policy: mithril.MinimalistOpen,
+//	}, mithril.MixHigh(16, 1), scheme)
+//	fmt.Printf("relative perf %.2f%%\n", cmp.RelativePerformance)
+package mithril
+
+import (
+	"mithril/internal/analysis"
+	"mithril/internal/mc"
+	"mithril/internal/mitigation"
+	"mithril/internal/sim"
+	"mithril/internal/timing"
+	"mithril/internal/trace"
+)
+
+// Re-exported types: the façade keeps downstream users on one import.
+type (
+	// TimingParams is the DRAM timing/organization parameter set.
+	TimingParams = timing.Params
+	// PicoSeconds is the simulator time unit.
+	PicoSeconds = timing.PicoSeconds
+	// SchemeOptions configures mitigation construction.
+	SchemeOptions = mitigation.Options
+	// Scheme is a RowHammer mitigation pluggable into the controller.
+	Scheme = mc.Scheme
+	// SimConfig describes one simulation run.
+	SimConfig = sim.Config
+	// SimResult carries a run's metrics.
+	SimResult = sim.Result
+	// Comparison is a protected run normalized against its baseline.
+	Comparison = sim.Comparison
+	// Workload is a named, replayable set of per-core generators.
+	Workload = trace.Workload
+	// Generator produces a core's access stream.
+	Generator = trace.Generator
+	// MithrilConfig is a feasible (Nentry, RFMTH) operating point.
+	MithrilConfig = analysis.Config
+	// SchedulerKind selects the MC scheduling policy.
+	SchedulerKind = mc.SchedulerKind
+	// PagePolicy selects the row-buffer management policy.
+	PagePolicy = mc.PagePolicy
+)
+
+// Scheduler kinds (Table III uses BLISS).
+const (
+	FCFS   = mc.FCFS
+	FRFCFS = mc.FRFCFS
+	BLISS  = mc.BLISS
+)
+
+// Page policies (Table III uses minimalist-open).
+const (
+	OpenPage       = mc.OpenPage
+	ClosedPage     = mc.ClosedPage
+	MinimalistOpen = mc.MinimalistOpen
+)
+
+// DDR5 returns the paper's DDR5-4800 parameter set (Table III).
+func DDR5() TimingParams { return timing.DDR5() }
+
+// NewScheme builds a mitigation by name: "none", "para", "parfm",
+// "graphene", "twice", "cbt", "blockhammer", "mithril", "mithril+".
+func NewScheme(name string, opt SchemeOptions) (Scheme, error) {
+	return mitigation.Build(name, opt)
+}
+
+// SchemeNames lists the buildable scheme names.
+func SchemeNames() []string { return mitigation.Names() }
+
+// Run executes one simulation.
+func Run(cfg SimConfig) (SimResult, error) { return sim.Run(cfg) }
+
+// Compare runs a workload unprotected and protected and reports normalized
+// performance and energy.
+func Compare(cfg SimConfig, w Workload, s Scheme) (Comparison, error) {
+	return sim.RunComparison(cfg, w, s)
+}
+
+// Configure computes the minimal Mithril table for a (FlipTH, RFMTH, AdTH)
+// point per Theorem 1/2; ok is false when the point is infeasible.
+func Configure(p TimingParams, flipTH, rfmTH, adTH int) (MithrilConfig, bool) {
+	return analysis.Configure(p, flipTH, rfmTH, adTH, analysis.DoubleSidedBlast)
+}
+
+// BoundM evaluates the Theorem 1 bound for a configuration.
+func BoundM(p TimingParams, nEntry, rfmTH int) float64 {
+	return analysis.BoundM(p, nEntry, rfmTH)
+}
+
+// BoundMPrime evaluates the Theorem 2 bound (adaptive refresh).
+func BoundMPrime(p TimingParams, nEntry, rfmTH, adTH int) float64 {
+	return analysis.BoundMPrime(p, nEntry, rfmTH, adTH)
+}
+
+// MixHigh and friends re-export the paper's workloads.
+func MixHigh(cores int, seed uint64) Workload    { return trace.MixHigh(cores, seed) }
+func MixBlend(cores int, seed uint64) Workload   { return trace.MixBlend(cores, seed) }
+func FFT(threads int, seed uint64) Workload      { return trace.FFT(threads, seed) }
+func Radix(threads int, seed uint64) Workload    { return trace.Radix(threads, seed) }
+func PageRank(threads int, seed uint64) Workload { return trace.PageRank(threads, seed) }
