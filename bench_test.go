@@ -351,6 +351,34 @@ func BenchmarkAblationBlastRadius(b *testing.B) {
 	}
 }
 
+// ------------------------------------------------------- Sweep engine
+
+// benchmarkSweep runs the Figure 10 comparison grid — the heaviest sweep
+// shape: shared baselines, attack workloads, adversarial cells — at a
+// fixed worker count.
+func benchmarkSweep(b *testing.B, jobs int) {
+	sc := benchScale()
+	sc.FlipTHs = []int{1500}
+	sc.Jobs = jobs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := Figure10Data(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(len(pts)), "points")
+		}
+	}
+}
+
+// BenchmarkSweepSerial is the -jobs 1 reference for the parallel engine.
+func BenchmarkSweepSerial(b *testing.B) { benchmarkSweep(b, 1) }
+
+// BenchmarkSweepParallel fans the same grid out over all cores; compare
+// ns/op against BenchmarkSweepSerial for the engine's speedup.
+func BenchmarkSweepParallel(b *testing.B) { benchmarkSweep(b, 0) }
+
 // BenchmarkSimulatorThroughput measures raw simulation speed (ticks are
 // dominated by controller work), the practical limit on experiment scale.
 func BenchmarkSimulatorThroughput(b *testing.B) {

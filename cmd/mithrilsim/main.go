@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	mithrilsim <command> [-full] [-flipth N]
+//	mithrilsim <command> [-full] [-flipth N] [-jobs N]
+//
+// Simulation sweeps fan out over -jobs workers (default: all cores);
+// -jobs 1 forces the serial path. Parallel and serial runs print
+// byte-identical output.
 //
 // Commands:
 //
@@ -35,8 +39,9 @@ import (
 func main() {
 	full := flag.Bool("full", false, "run at the paper's full scale (16 cores, all FlipTH levels)")
 	flipTH := flag.Int("flipth", 2000, "FlipTH for the safety sweep")
+	jobs := flag.Int("jobs", 0, "sweep worker count (0 = all cores, 1 = serial)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mithrilsim <figure2|figure6|figure7|figure8|figure9|figure10|figure11|table4|safety|parfm|all> [-full]")
+		fmt.Fprintln(os.Stderr, "usage: mithrilsim <figure2|figure6|figure7|figure8|figure9|figure10|figure11|table4|safety|parfm|all> [-full] [-jobs N]")
 		flag.PrintDefaults()
 	}
 	if len(os.Args) < 2 {
@@ -50,6 +55,7 @@ func main() {
 	if *full {
 		sc = mithril.FullScale()
 	}
+	sc.Jobs = *jobs
 
 	run := map[string]func() error{
 		"figure2":  figure2,

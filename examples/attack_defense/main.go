@@ -14,9 +14,12 @@ import (
 func main() {
 	// The multi-sided attack spreads over 33 aggressors, so it needs a
 	// full (time-compressed) refresh window to reach FlipTH on a victim:
-	// this run simulates a few milliseconds and takes ~30 s of wall time.
+	// each run simulates a few milliseconds. The sweep engine fans the
+	// (attack × scheme) grid out to every core (Jobs = 0 means the same),
+	// so wall time is one cell, not the whole grid.
 	scale := mithril.QuickScale()
 	scale.InstrPerCore = 60_000
+	scale.Jobs = mithril.DefaultJobs()
 	const flipTH = 1500
 
 	fmt.Printf("FlipTH = %d, DDR5 bank under attack (time-compressed window)\n\n", flipTH)

@@ -20,27 +20,40 @@ func main() {
 	fmt.Printf("Mithril (FlipTH=%d) relative performance under scheduler/page-policy combos:\n\n", flipTH)
 	fmt.Printf("%-10s %-17s %12s %12s %14s\n", "scheduler", "page policy", "rel perf %", "energy +%", "baseline IPC")
 
+	// Each grid cell is an independent pair of simulations: fan them out
+	// over all cores with the library's sweep engine. Results come back
+	// in grid order, so the table prints exactly as a serial loop would.
+	type cell struct {
+		sched mithril.SchedulerKind
+		pol   mithril.PagePolicy
+	}
+	var cells []cell
 	for _, sched := range schedulers {
 		for _, pol := range policies {
-			scheme, err := mithril.NewScheme("mithril", mithril.SchemeOptions{Timing: p, FlipTH: flipTH})
-			if err != nil {
-				log.Fatal(err)
-			}
-			cfg := mithril.SimConfig{
-				Params:       p,
-				FlipTH:       flipTH,
-				Scheduler:    sched,
-				Policy:       pol,
-				InstrPerCore: 15_000,
-			}
-			cmp, err := mithril.Compare(cfg, mithril.MixHigh(8, 1), scheme)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("%-10s %-17s %12.2f %12.2f %14.2f\n",
-				sched, pol, cmp.RelativePerformance, cmp.EnergyOverheadPercent,
-				cmp.Baseline.AggregateIPC)
+			cells = append(cells, cell{sched, pol})
 		}
+	}
+	results, err := mithril.RunParallel(0, len(cells), func(i int) (mithril.Comparison, error) {
+		scheme, err := mithril.NewScheme("mithril", mithril.SchemeOptions{Timing: p, FlipTH: flipTH})
+		if err != nil {
+			return mithril.Comparison{}, err
+		}
+		cfg := mithril.SimConfig{
+			Params:       p,
+			FlipTH:       flipTH,
+			Scheduler:    cells[i].sched,
+			Policy:       cells[i].pol,
+			InstrPerCore: 15_000,
+		}
+		return mithril.Compare(cfg, mithril.MixHigh(8, 1), scheme)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, cmp := range results {
+		fmt.Printf("%-10s %-17s %12.2f %12.2f %14.2f\n",
+			cells[i].sched, cells[i].pol, cmp.RelativePerformance, cmp.EnergyOverheadPercent,
+			cmp.Baseline.AggregateIPC)
 	}
 
 	fmt.Println("\nTable III's choice (BLISS + minimalist-open) balances fairness against")

@@ -10,6 +10,7 @@ import (
 	"mithril/internal/mitigation"
 	"mithril/internal/sim"
 	"mithril/internal/stats"
+	"mithril/internal/sweep"
 	"mithril/internal/timing"
 	"mithril/internal/trace"
 )
@@ -31,6 +32,12 @@ type Scale struct {
 	// schemes are configured from the same scaled parameters, so relative
 	// comparisons are preserved (DESIGN.md §4).
 	TimeScale int
+	// Jobs bounds the sweep engine's worker pool: each (scheme, FlipTH,
+	// workload) cell is an independent simulation, so sweeps fan out over
+	// Jobs workers. 0 (or negative) means one worker per core; 1 forces
+	// the serial path. Parallel and serial sweeps return identical
+	// results in identical order.
+	Jobs int
 }
 
 // Params returns the (possibly time-scaled) DDR5 parameters for this scale.
@@ -150,22 +157,59 @@ func Figure7Data(sc Scale) ([]Figure7Point, error) {
 	p := sc.Params()
 	configs := []struct{ flipTH, rfmTH int }{{3125, 16}, {6250, 64}}
 	adths := []int{0, 50, 100, 150, 200}
-	workloads := map[string]Workload{
-		"multi-programmed": trace.MixHigh(sc.Cores, sc.Seed),
-		"multi-threaded":   trace.FFT(sc.Cores, sc.Seed),
+	workloads := []struct {
+		name string
+		w    Workload
+	}{
+		{"multi-programmed", trace.MixHigh(sc.Cores, sc.Seed)},
+		{"multi-threaded", trace.FFT(sc.Cores, sc.Seed)},
 	}
-	// One baseline per workload (scheme-independent).
-	baselines := map[string]sim.Result{}
-	for name, w := range workloads {
-		cfg := baseSimConfig(configs[0].flipTH, sc)
-		cfg.Workload = w.Fresh()
+	// One baseline per workload (scheme-independent), single-flight so
+	// concurrent cells share one unprotected run.
+	var baselines sweep.Cache[string, sim.Result]
+	baseline := func(name string, w Workload) (sim.Result, error) {
+		return baselines.Get(name, func() (sim.Result, error) {
+			cfg := baseSimConfig(configs[0].flipTH, sc)
+			cfg.Workload = w.Fresh()
+			return sim.Run(cfg)
+		})
+	}
+	// Fan each (config, AdTH, workload) cell out to the worker pool; the
+	// energy overheads come back in enumeration order.
+	type f7cell struct{ cfgIdx, adTH, wIdx int }
+	var cells []f7cell
+	for ci := range configs {
+		for _, ad := range adths {
+			for wi := range workloads {
+				cells = append(cells, f7cell{ci, ad, wi})
+			}
+		}
+	}
+	energies, err := sweep.Run(sc.Jobs, len(cells), func(i int) (float64, error) {
+		c := cells[i]
+		conf := configs[c.cfgIdx]
+		wl := workloads[c.wIdx]
+		base, err := baseline(wl.name, wl.w)
+		if err != nil {
+			return 0, err
+		}
+		scheme := mitigation.NewMithril(mitigation.Options{
+			Timing: p, FlipTH: conf.flipTH, RFMTH: conf.rfmTH, AdTH: adOrDisabled(c.adTH), Seed: sc.Seed,
+		})
+		cfg := baseSimConfig(conf.flipTH, sc)
+		cfg.Scheme = scheme
+		cfg.Workload = wl.w.Fresh()
 		res, err := sim.Run(cfg)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		baselines[name] = res
+		return energy.OverheadPercent(res.Energy, base.Energy), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var out []Figure7Point
+	idx := 0
 	for _, c := range configs {
 		for _, ad := range adths {
 			pt := Figure7Point{FlipTH: c.flipTH, RFMTH: c.rfmTH, AdTH: ad,
@@ -173,18 +217,9 @@ func Figure7Data(sc Scale) ([]Figure7Point, error) {
 			if pct, ok := analysis.AdditionalNEntryPercent(p, c.flipTH, c.rfmTH, ad); ok {
 				pt.AdditionalNEntryPct = pct
 			}
-			for name, w := range workloads {
-				scheme := mitigation.NewMithril(mitigation.Options{
-					Timing: p, FlipTH: c.flipTH, RFMTH: c.rfmTH, AdTH: adOrDisabled(ad), Seed: sc.Seed,
-				})
-				cfg := baseSimConfig(c.flipTH, sc)
-				cfg.Scheme = scheme
-				cfg.Workload = w.Fresh()
-				res, err := sim.Run(cfg)
-				if err != nil {
-					return nil, err
-				}
-				pt.EnergyOverheadPct[name] = energy.OverheadPercent(res.Energy, baselines[name].Energy)
+			for _, wl := range workloads {
+				pt.EnergyOverheadPct[wl.name] = energies[idx]
+				idx++
 			}
 			out = append(out, pt)
 		}
@@ -246,14 +281,26 @@ func (p PerfPoint) String() string {
 		p.Scheme, p.FlipTH, p.Workload, p.RelativePerformance, p.EnergyOverheadPct, p.TableKB, p.Safe)
 }
 
-// runner caches per-workload baselines so every scheme is normalized
-// against an identical unprotected run.
+// runner caches baselines so every scheme is normalized against an
+// identical unprotected run. The cache is keyed by (FlipTH, workload),
+// not workload name alone: a workload's generators can vary with FlipTH
+// under an unchanged name (bh-adversarial aims at the deployed filter's
+// collision set), so cross-threshold sharing would normalize against a
+// stale run. Sharing FlipTH-independent baselines is forgone — a few
+// extra unprotected runs per sweep buys the correctness guarantee. The
+// cache is single-flight, so concurrent cells share one simulation.
 type runner struct {
 	sc        Scale
-	baselines map[string]sim.Result
+	baselines sweep.Cache[baselineKey, sim.Result]
 }
 
-func newRunner(sc Scale) *runner { return &runner{sc: sc, baselines: map[string]sim.Result{}} }
+// baselineKey identifies one unprotected run configuration.
+type baselineKey struct {
+	flipTH   int
+	workload string
+}
+
+func newRunner(sc Scale) *runner { return &runner{sc: sc} }
 
 // cfgFor derives the run configuration for a workload: attack workloads
 // get an extended instruction budget and end when the benign cores finish.
@@ -268,23 +315,20 @@ func (r *runner) cfgFor(flipTH int, w Workload) SimConfig {
 }
 
 func (r *runner) baseline(flipTH int, w Workload) (sim.Result, error) {
-	if res, ok := r.baselines[w.Name]; ok {
-		return res, nil
-	}
-	cfg := r.cfgFor(flipTH, w)
-	res, err := sim.Run(cfg)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	r.baselines[w.Name] = res
-	return res, nil
+	return r.baselines.Get(baselineKey{flipTH, w.Name}, func() (sim.Result, error) {
+		return sim.Run(r.cfgFor(flipTH, w))
+	})
 }
 
-// benignIPC sums per-core IPCs excluding attacker cores (negative count
-// means none).
+// benignIPC sums per-core IPCs excluding trailing attacker cores (a
+// non-positive count means none; a count beyond the core total sums
+// nothing rather than walking off the slice).
 func benignIPC(res sim.Result, attackers int) float64 {
-	total := 0.0
 	n := len(res.IPCs) - attackers
+	if n > len(res.IPCs) {
+		n = len(res.IPCs)
+	}
+	total := 0.0
 	for i := 0; i < n; i++ {
 		total += res.IPCs[i]
 	}
@@ -414,37 +458,43 @@ type Figure9Point struct {
 }
 
 // Figure9Data sweeps the paper's (FlipTH, RFMTH) grid on the mix-high
-// workload.
+// workload; grid cells run in parallel on the sweep engine.
 func Figure9Data(sc Scale) ([]Figure9Point, error) {
 	grid := map[int][]int{12500: {512, 256, 128}, 6250: {256, 128, 64}, 3125: {128, 64, 32}, 1500: {32}}
 	order := []int{12500, 6250, 3125, 1500}
 	r := newRunner(sc)
 	w := trace.MixHigh(sc.Cores, sc.Seed)
-	var out []Figure9Point
+	// Enumerate the feasible cells up front (the feasibility check is
+	// analytic) so the fan-out preserves the grid order.
+	type f9cell struct{ flipTH, rfmTH int }
+	var cells []f9cell
 	for _, flipTH := range order {
 		for _, rfmTH := range grid[flipTH] {
-			opt := mitigation.Options{Timing: sc.Params(), FlipTH: flipTH, RFMTH: rfmTH, Seed: sc.Seed}
 			if _, ok := analysis.Configure(sc.Params(), flipTH, rfmTH, mitigation.DefaultAdTH, analysis.DoubleSidedBlast); !ok {
 				continue
 			}
-			m, err := r.measure(mitigation.NewMithril(opt), flipTH, w)
-			if err != nil {
-				return nil, err
-			}
-			plus, err := r.measure(mitigation.NewMithrilPlus(opt), flipTH, w)
-			if err != nil {
-				return nil, err
-			}
-			kb, _ := analysis.MithrilTableKB(DDR5(), flipTH, rfmTH, 0)
-			out = append(out, Figure9Point{
-				FlipTH: flipTH, RFMTH: rfmTH,
-				Mithril: m.RelativePerformance, MithrilPlus: plus.RelativePerformance,
-				TableKB:       kb,
-				EnergyMithril: m.EnergyOverheadPct, EnergyPlus: plus.EnergyOverheadPct,
-			})
+			cells = append(cells, f9cell{flipTH, rfmTH})
 		}
 	}
-	return out, nil
+	return sweep.Run(sc.Jobs, len(cells), func(i int) (Figure9Point, error) {
+		c := cells[i]
+		opt := mitigation.Options{Timing: sc.Params(), FlipTH: c.flipTH, RFMTH: c.rfmTH, Seed: sc.Seed}
+		m, err := r.measure(mitigation.NewMithril(opt), c.flipTH, w)
+		if err != nil {
+			return Figure9Point{}, err
+		}
+		plus, err := r.measure(mitigation.NewMithrilPlus(opt), c.flipTH, w)
+		if err != nil {
+			return Figure9Point{}, err
+		}
+		kb, _ := analysis.MithrilTableKB(DDR5(), c.flipTH, c.rfmTH, 0)
+		return Figure9Point{
+			FlipTH: c.flipTH, RFMTH: c.rfmTH,
+			Mithril: m.RelativePerformance, MithrilPlus: plus.RelativePerformance,
+			TableKB:       kb,
+			EnergyMithril: m.EnergyOverheadPct, EnergyPlus: plus.EnergyOverheadPct,
+		}, nil
+	})
 }
 
 // Figure10Data evaluates the RFM-compatible schemes (PARFM, BlockHammer,
@@ -461,30 +511,62 @@ func Figure11Data(sc Scale) ([]PerfPoint, error) {
 	return comparisonSweep(sc, []string{"para", "cbt", "twice", "graphene", "mithril", "mithril+"}, false)
 }
 
+// sweepCell is one independent (FlipTH, scheme, workload) measurement of
+// a comparison sweep: its own scheme instance, fresh workload, and — via
+// the runner's single-flight cache — a shared baseline.
+type sweepCell struct {
+	flipTH      int
+	scheme      string
+	workload    Workload
+	adversarial bool // build the BlockHammer-collision workload around the cell's scheme
+}
+
 func comparisonSweep(sc Scale, schemes []string, adversarial bool) ([]PerfPoint, error) {
 	r := newRunner(sc)
 	normals := normalWorkloads(sc)
 	rhW := multiSidedWorkload(sc)
-	var out []PerfPoint
+	// Enumerate every cell up front; the sweep engine fans them out over
+	// the worker pool and returns measurements in enumeration order, so
+	// the parallel sweep's output is identical to the serial path's.
+	var cells []sweepCell
 	for _, flipTH := range sc.FlipTHs {
 		for _, name := range schemes {
-			build := func() (mc.Scheme, error) {
-				return mitigation.Build(name, mitigation.Options{Timing: sc.Params(), FlipTH: flipTH, Seed: sc.Seed})
+			for _, w := range normals {
+				cells = append(cells, sweepCell{flipTH: flipTH, scheme: name, workload: w})
 			}
-			// Normal workloads: geo-mean of relative performance, mean of
-			// energy overhead.
+			cells = append(cells, sweepCell{flipTH: flipTH, scheme: name, workload: rhW})
+			if adversarial {
+				cells = append(cells, sweepCell{flipTH: flipTH, scheme: name, adversarial: true})
+			}
+		}
+	}
+	pts, err := sweep.Run(sc.Jobs, len(cells), func(i int) (PerfPoint, error) {
+		c := cells[i]
+		s, err := mitigation.Build(c.scheme, mitigation.Options{Timing: sc.Params(), FlipTH: c.flipTH, Seed: sc.Seed})
+		if err != nil {
+			return PerfPoint{}, err
+		}
+		w := c.workload
+		if c.adversarial {
+			w = adversarialWorkload(sc, s)
+		}
+		return r.measure(s, c.flipTH, w)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Reduce in enumeration order: normal workloads collapse to one
+	// geo-mean point per (FlipTH, scheme); attack points pass through.
+	var out []PerfPoint
+	idx := 0
+	for _, flipTH := range sc.FlipTHs {
+		for _, name := range schemes {
 			var perfs []float64
 			var energySum float64
 			var safe = true
-			for _, w := range normals {
-				s, err := build()
-				if err != nil {
-					return nil, err
-				}
-				pt, err := r.measure(s, flipTH, w)
-				if err != nil {
-					return nil, err
-				}
+			for range normals {
+				pt := pts[idx]
+				idx++
 				perfs = append(perfs, pt.RelativePerformance)
 				energySum += pt.EnergyOverheadPct
 				safe = safe && pt.Safe
@@ -497,27 +579,14 @@ func comparisonSweep(sc Scale, schemes []string, adversarial bool) ([]PerfPoint,
 				Safe:                safe,
 			})
 			// Multi-sided RH.
-			s, err := build()
-			if err != nil {
-				return nil, err
-			}
-			pt, err := r.measure(s, flipTH, rhW)
-			if err != nil {
-				return nil, err
-			}
+			pt := pts[idx]
+			idx++
 			pt.TableKB = schemeTableKB(name, flipTH)
 			out = append(out, pt)
 			// BlockHammer-adversarial (Figure 10 only).
 			if adversarial {
-				s, err := build()
-				if err != nil {
-					return nil, err
-				}
-				advW := adversarialWorkload(sc, s)
-				apt, err := r.measure(s, flipTH, advW)
-				if err != nil {
-					return nil, err
-				}
+				apt := pts[idx]
+				idx++
 				apt.TableKB = schemeTableKB(name, flipTH)
 				out = append(out, apt)
 			}
@@ -573,52 +642,64 @@ type SafetyResult struct {
 }
 
 // SafetySweep attacks every scheme with double- and multi-sided patterns in
-// the full simulator and reports the fault-model verdicts.
+// the full simulator and reports the fault-model verdicts. The (attack,
+// scheme) cells run in parallel on the sweep engine; results come back in
+// a fixed (attack, then scheme) order.
 func SafetySweep(sc Scale, flipTH int) ([]SafetyResult, error) {
 	mapper := mc.NewAddressMapper(sc.Params())
 	// Background core first, attacker last: the run ends when the benign
 	// core finishes even if the attacker is throttled to a crawl. The
 	// background must be memory-bound (footprint ≫ LLC) so the attacker
 	// gets a realistic time window.
-	attacks := map[string]func() []Generator{
-		"double-sided": func() []Generator {
+	attacks := []struct {
+		name  string
+		fresh func() []Generator
+	}{
+		{"double-sided", func() []Generator {
 			return []Generator{
 				trace.NewStream("bg", 1<<28, 64<<20, 10, 4),
 				attack.NewDoubleSided(mapper, 0, 0, 1000),
 			}
-		},
-		"multi-sided-32": func() []Generator {
+		}},
+		{"multi-sided-32", func() []Generator {
 			return []Generator{
 				trace.NewStream("bg", 1<<28, 64<<20, 10, 4),
 				attack.NewMultiSided(mapper, 0, 0, 2000, 32),
 			}
-		},
+		}},
 	}
-	schemes := append([]string{"none"}, "parfm", "blockhammer", "graphene", "twice", "cbt", "mithril", "mithril+")
-	var out []SafetyResult
-	for attackName, fresh := range attacks {
+	schemes := []string{"none", "parfm", "blockhammer", "graphene", "twice", "cbt", "mithril", "mithril+"}
+	type safetyCell struct {
+		attackIdx int
+		scheme    string
+	}
+	var cells []safetyCell
+	for ai := range attacks {
 		for _, name := range schemes {
-			s, err := mitigation.Build(name, mitigation.Options{Timing: sc.Params(), FlipTH: flipTH, Seed: sc.Seed})
-			if err != nil {
-				return nil, err
-			}
-			cfg := baseSimConfig(flipTH, sc)
-			cfg.Scheme = s
-			cfg.Workload = fresh()
-			cfg.InstrPerCore = sc.InstrPerCore * attackInstrFactor
-			cfg.RequireCores = 1 // benign core only
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, SafetyResult{
-				Scheme: name, Attack: attackName, FlipTH: flipTH,
-				Flips: res.Safety.Flips, MaxDisturbance: res.Safety.MaxDisturbance,
-				Safe: res.Safety.Safe(),
-			})
+			cells = append(cells, safetyCell{ai, name})
 		}
 	}
-	return out, nil
+	return sweep.Run(sc.Jobs, len(cells), func(i int) (SafetyResult, error) {
+		c := cells[i]
+		s, err := mitigation.Build(c.scheme, mitigation.Options{Timing: sc.Params(), FlipTH: flipTH, Seed: sc.Seed})
+		if err != nil {
+			return SafetyResult{}, err
+		}
+		cfg := baseSimConfig(flipTH, sc)
+		cfg.Scheme = s
+		cfg.Workload = attacks[c.attackIdx].fresh()
+		cfg.InstrPerCore = sc.InstrPerCore * attackInstrFactor
+		cfg.RequireCores = 1 // benign core only
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return SafetyResult{}, err
+		}
+		return SafetyResult{
+			Scheme: c.scheme, Attack: attacks[c.attackIdx].name, FlipTH: flipTH,
+			Flips: res.Safety.Flips, MaxDisturbance: res.Safety.MaxDisturbance,
+			Safe: res.Safety.Safe(),
+		}, nil
+	})
 }
 
 // PARFMFailure re-exports the Appendix C failure model for the CLI.

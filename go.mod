@@ -1,0 +1,3 @@
+module mithril
+
+go 1.24

@@ -67,17 +67,21 @@ func (t *Table) String() string {
 	}
 	var b strings.Builder
 	writeRow := func(cells []string) {
+		var line strings.Builder
 		for i, w := range widths {
 			c := ""
 			if i < len(cells) {
 				c = cells[i]
 			}
 			if i > 0 {
-				b.WriteString("  ")
+				line.WriteString("  ")
 			}
-			b.WriteString(c)
-			b.WriteString(strings.Repeat(" ", w-len(c)))
+			line.WriteString(c)
+			line.WriteString(strings.Repeat(" ", w-len(c)))
 		}
+		// The final cell's padding (and any empty trailing cells) would
+		// leave trailing whitespace on every row; trim it.
+		b.WriteString(strings.TrimRight(line.String(), " "))
 		b.WriteString("\n")
 	}
 	writeRow(t.headers)

@@ -42,11 +42,13 @@ func TestTableRendering(t *testing.T) {
 	if len(lines) != 4 {
 		t.Fatalf("lines = %d, want header+separator+2 rows", len(lines))
 	}
-	// All lines align to the same width.
-	w := len(lines[0])
+	// All non-final columns align: every line's last column starts at the
+	// same offset (first column width + two-space separator), preceded by
+	// exactly the separator.
+	const lastColStart = len("a-much-longer-name") + 2
 	for i, l := range lines {
-		if len(l) != w {
-			t.Errorf("line %d width %d != %d", i, len(l), w)
+		if len(l) <= lastColStart || l[lastColStart] == ' ' || l[lastColStart-2:lastColStart] != "  " {
+			t.Errorf("line %d: last column does not start at offset %d: %q", i, lastColStart, l)
 		}
 	}
 	if !strings.Contains(out, "a-much-longer-name") {
@@ -56,5 +58,17 @@ func TestTableRendering(t *testing.T) {
 	tb.Add("only-name")
 	if !strings.Contains(tb.String(), "only-name") {
 		t.Error("short row missing")
+	}
+}
+
+func TestTableNoTrailingWhitespace(t *testing.T) {
+	tb := NewTable("name", "value", "wide-header")
+	tb.Add("alpha", "1", "x")
+	tb.Add("beta", "22") // short row: empty final cell
+	tb.Add("a-much-longer-name", "3", "yy")
+	for i, l := range strings.Split(strings.TrimRight(tb.String(), "\n"), "\n") {
+		if strings.TrimRight(l, " \t") != l {
+			t.Errorf("line %d has trailing whitespace: %q", i, l)
+		}
 	}
 }

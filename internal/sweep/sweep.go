@@ -1,0 +1,137 @@
+// Package sweep is the concurrent experiment engine: it fans independent
+// sweep cells out over a fixed worker pool with deterministic result
+// ordering (parallel output is identical to a serial loop) and provides a
+// single-flight cache so shared work — unprotected baseline simulations —
+// runs exactly once no matter how many cells need it.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultJobs is the worker count used when a sweep is configured with
+// jobs <= 0: one worker per available core.
+func DefaultJobs() int { return runtime.GOMAXPROCS(0) }
+
+// Run executes fn(i) for every i in [0, n) on up to jobs workers and
+// returns the results in index order, so a parallel sweep emits byte-
+// identical output to the serial path. jobs <= 0 means DefaultJobs();
+// jobs == 1 runs the plain serial loop. On failure, the error from the
+// lowest-index failing cell that ran is returned (a lower-index cell
+// skipped by cancellation may itself have failed), cells that have not
+// started are cancelled, and in-flight cells finish (their results are
+// discarded).
+func Run[T any](jobs, n int, fn func(i int) (T, error)) ([]T, error) {
+	if jobs <= 0 {
+		jobs = DefaultJobs()
+	}
+	if jobs > n {
+		jobs = n
+	}
+	out := make([]T, n)
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = n
+		panicked any
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// A panic in fn must stay recoverable by Run's caller, as it
+			// is on the serial path: capture it, cancel the sweep, and
+			// re-raise on the calling goroutine after Wait.
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					mu.Unlock()
+					failed.Store(true)
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Cache is a concurrency-safe single-flight memo: concurrent Get calls
+// with the same key share one fill, so a baseline keyed by (FlipTH,
+// workload) is simulated exactly once per sweep. The zero value is ready
+// to use.
+type Cache[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*cacheEntry[V]
+}
+
+type cacheEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// Get returns the cached value for k, filling it with fill on first use.
+// A fill error is cached too: every waiter for that key observes it.
+func (c *Cache[K, V]) Get(k K, fill func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*cacheEntry[V])
+	}
+	e := c.m[k]
+	if e == nil {
+		e = &cacheEntry[V]{}
+		c.m[k] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = fill() })
+	return e.val, e.err
+}
+
+// Len reports the number of distinct keys filled or in flight.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -15,6 +15,11 @@
 //	    Scheduler: mithril.BLISS, Policy: mithril.MinimalistOpen,
 //	}, mithril.MixHigh(16, 1), scheme)
 //	fmt.Printf("relative perf %.2f%%\n", cmp.RelativePerformance)
+//
+// Experiment sweeps (Figure7Data, Figure9Data, Figure10Data, Figure11Data,
+// SafetySweep) fan their independent simulation cells out over a worker
+// pool sized by Scale.Jobs (0 = all cores, 1 = serial); parallel and
+// serial runs produce identical results in identical order.
 package mithril
 
 import (
@@ -22,6 +27,7 @@ import (
 	"mithril/internal/mc"
 	"mithril/internal/mitigation"
 	"mithril/internal/sim"
+	"mithril/internal/sweep"
 	"mithril/internal/timing"
 	"mithril/internal/trace"
 )
@@ -82,6 +88,19 @@ func SchemeNames() []string { return mitigation.Names() }
 
 // Run executes one simulation.
 func Run(cfg SimConfig) (SimResult, error) { return sim.Run(cfg) }
+
+// DefaultJobs returns the sweep engine's default worker count: one per
+// available core. Scale.Jobs = 0 resolves to this.
+func DefaultJobs() int { return sweep.DefaultJobs() }
+
+// RunParallel executes fn(0..n-1) on up to jobs workers (0 = all cores)
+// and returns the results in index order; the first error cancels cells
+// that have not started. The experiment sweeps run on this engine; it is
+// exported so downstream studies (see examples/scheduler_study) can fan
+// out their own simulation grids.
+func RunParallel[T any](jobs, n int, fn func(i int) (T, error)) ([]T, error) {
+	return sweep.Run(jobs, n, fn)
+}
 
 // Compare runs a workload unprotected and protected and reports normalized
 // performance and energy.

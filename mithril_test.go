@@ -2,7 +2,10 @@ package mithril
 
 import (
 	"math"
+	"reflect"
 	"testing"
+
+	"mithril/internal/sim"
 )
 
 // tinyScale keeps the API-level tests fast.
@@ -158,6 +161,65 @@ func TestFigure7DataSmoke(t *testing.T) {
 	// Additional Nentry grows with AdTH and stays modest.
 	if pts[0].AdditionalNEntryPct != 0 || pts[4].AdditionalNEntryPct <= 0 || pts[4].AdditionalNEntryPct > 25 {
 		t.Errorf("additional Nentry: %v .. %v", pts[0].AdditionalNEntryPct, pts[4].AdditionalNEntryPct)
+	}
+}
+
+func TestBenignIPCAttackerClamp(t *testing.T) {
+	res := sim.Result{IPCs: []float64{1, 2, 4}}
+	cases := []struct {
+		attackers int
+		want      float64
+	}{
+		{0, 7},
+		{1, 3},
+		{2, 1},
+		{-1, 7}, // negative count means none — must not walk past the slice
+		{-10, 7},
+		{3, 0},
+		{5, 0}, // more attackers than cores: nothing benign to sum
+	}
+	for _, c := range cases {
+		if got := benignIPC(res, c.attackers); got != c.want {
+			t.Errorf("benignIPC(attackers=%d) = %v, want %v", c.attackers, got, c.want)
+		}
+	}
+}
+
+// TestParallelSweepMatchesSerial pins the sweep engine's determinism
+// guarantee: fanning the cells out over workers must return exactly the
+// serial path's results, in the serial path's order.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	sc := tinyScale()
+	sc.InstrPerCore = 2_000
+	serial, parallel := sc, sc
+	serial.Jobs = 1
+	parallel.Jobs = 4
+
+	s10, err := Figure10Data(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p10, err := Figure10Data(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s10, p10) {
+		t.Errorf("Figure10Data diverges:\nserial:   %v\nparallel: %v", s10, p10)
+	}
+
+	s9, err := Figure9Data(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p9, err := Figure9Data(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s9, p9) {
+		t.Errorf("Figure9Data diverges:\nserial:   %v\nparallel: %v", s9, p9)
 	}
 }
 
