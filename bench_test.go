@@ -11,6 +11,8 @@ import (
 
 	"mithril/internal/analysis"
 	"mithril/internal/core"
+	"mithril/internal/dram"
+	"mithril/internal/mc"
 	"mithril/internal/mitigation"
 	"mithril/internal/streaming"
 	"mithril/internal/timing"
@@ -348,6 +350,60 @@ func BenchmarkAblationBlastRadius(b *testing.B) {
 			b.ReportMetric(float64(n2), "Nentry_double_sided")
 			b.ReportMetric(float64(n35), "Nentry_nonadjacent")
 		}
+	}
+}
+
+// ------------------------------------------------- Hot-path microbenches
+
+// BenchmarkSchemeOnActivate measures the per-ACT tracker update of every
+// scheme — the inner loop of every simulated activation, kept map- and
+// allocation-free by the dense per-bank state layout. Run with -benchmem:
+// the steady-state expectation is 0 allocs/op for every scheme.
+func BenchmarkSchemeOnActivate(b *testing.B) {
+	p := timing.DDR5()
+	for _, name := range mitigation.Names() {
+		if name == "none" {
+			continue
+		}
+		b.Run(name, func(b *testing.B) {
+			s, err := mitigation.Build(name, mitigation.Options{Timing: p, FlipTH: 6250, Seed: 7})
+			if err != nil {
+				b.Fatal(err)
+			}
+			banks := p.TotalBanks()
+			r := streaming.NewRand(11)
+			rows := make([]uint32, 4096)
+			for i := range rows {
+				rows[i] = uint32(r.Intn(p.Rows))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now := timing.PicoSeconds(i) * p.TRC
+				s.OnActivate(i%banks, rows[i%len(rows)], i%8, now)
+			}
+		})
+	}
+}
+
+// BenchmarkControllerACTPath measures the controller's full per-request
+// serve path (queue pick, bank timing, RAA/RFM bookkeeping, page policy)
+// under the Table III configuration with Mithril+ deployed.
+func BenchmarkControllerACTPath(b *testing.B) {
+	p := timing.DDR5()
+	s, err := mitigation.Build("mithril+", mitigation.Options{Timing: p, FlipTH: 6250, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev := dram.NewDevice(p, 6250, nil)
+	ctl := mc.NewController(dev, mc.Config{Scheduler: mc.BLISS, Policy: mc.MinimalistOpen, Scheme: s}, nil)
+	m := ctl.Mapper()
+	space := m.AddressSpace()
+	r := streaming.NewRand(13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := timing.PicoSeconds(i) * p.TCK
+		ctl.Enqueue(&mc.Request{ID: uint64(i), CoreID: i % 8, Addr: r.Uint64() % space, Arrive: now})
+		ctl.Tick(now)
 	}
 }
 

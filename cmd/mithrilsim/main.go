@@ -49,7 +49,21 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
-	_ = flag.CommandLine.Parse(os.Args[2:])
+	if err := flag.CommandLine.Parse(os.Args[2:]); err != nil {
+		// Defensive: flag.ExitOnError exits on malformed flags itself;
+		// this path covers any other error handling mode.
+		fmt.Fprintf(os.Stderr, "mithrilsim: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if args := flag.CommandLine.Args(); len(args) > 0 {
+		// Parse stops at the first positional argument, silently ignoring
+		// the rest — a misspelled flag like "jobs 4" would otherwise be
+		// swallowed whole.
+		fmt.Fprintf(os.Stderr, "mithrilsim: unexpected arguments: %v\n", args)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	sc := mithril.QuickScale()
 	if *full {

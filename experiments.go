@@ -252,7 +252,7 @@ func Figure8() Figure8Data {
 	mapper := mc.NewAddressMapper(DDR5())
 	large := trace.RowSeries(trace.NewStream("lbm", 0, 128<<20, 12, 4), mapper, 100_000)
 	small := trace.RowSeries(trace.NewStream("lbm", 0, 128<<20, 12, 4), mapper, 512)
-	acts := trace.ActivationSeries(small)
+	acts := trace.ActivationSeries(small, DDR5().TotalBanks())
 	ld, _ := trace.ConcentrationStats(large)
 	sd, sm := trace.ConcentrationStats(small)
 	return Figure8Data{

@@ -65,6 +65,7 @@ type Stats struct {
 type Mithril struct {
 	cfg   Config
 	table streaming.Summary
+	vbuf  []uint32 // reusable OnRFM victim buffer
 	stats Stats
 }
 
@@ -106,7 +107,9 @@ func (m *Mithril) OnActivate(row uint32) {
 //
 // It returns the selected aggressor and the victim rows the DRAM must
 // refresh within the tRFM window; refreshed is false when the adaptive
-// policy skipped the refresh (victims is then nil).
+// policy skipped the refresh (victims is then nil). The victim slice is
+// owned by the module and reused on the next OnRFM — callers that retain
+// it must copy.
 func (m *Mithril) OnRFM() (aggressor uint32, victims []uint32, refreshed bool) {
 	m.stats.RFMs++
 	if m.cfg.AdTH > 0 && m.table.Spread() <= uint64(m.cfg.AdTH) {
@@ -119,7 +122,8 @@ func (m *Mithril) OnRFM() (aggressor uint32, victims []uint32, refreshed bool) {
 		return 0, nil, false
 	}
 	m.stats.PreventiveRefreshes++
-	victims = VictimRows(aggressor, m.cfg.BlastRadius)
+	victims = AppendVictimRows(m.vbuf[:0], aggressor, m.cfg.BlastRadius)
+	m.vbuf = victims
 	m.stats.VictimRowsRefreshed += uint64(len(victims))
 	return aggressor, victims, true
 }
@@ -147,12 +151,17 @@ func (m *Mithril) Reset() {
 // VictimRows lists the rows within blastRadius of aggressor on both sides,
 // clamped at the address space boundary (row numbers are bank-local).
 func VictimRows(aggressor uint32, blastRadius int) []uint32 {
-	victims := make([]uint32, 0, 2*blastRadius)
+	return AppendVictimRows(make([]uint32, 0, 2*blastRadius), aggressor, blastRadius)
+}
+
+// AppendVictimRows is VictimRows into a caller-provided buffer (reused by
+// the module's RFM path to keep it allocation-free).
+func AppendVictimRows(buf []uint32, aggressor uint32, blastRadius int) []uint32 {
 	for d := 1; d <= blastRadius; d++ {
 		if aggressor >= uint32(d) {
-			victims = append(victims, aggressor-uint32(d))
+			buf = append(buf, aggressor-uint32(d))
 		}
-		victims = append(victims, aggressor+uint32(d))
+		buf = append(buf, aggressor+uint32(d))
 	}
-	return victims
+	return buf
 }

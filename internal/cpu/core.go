@@ -53,6 +53,7 @@ type Source interface {
 type outstandingMiss struct {
 	reqID    uint64
 	instrIdx int64
+	req      *mc.Request // recycled into freeReqs on completion
 }
 
 // Core is one trace-driven out-of-order core.
@@ -73,6 +74,7 @@ type Core struct {
 	nextReqID   uint64
 	lastDone    timing.PicoSeconds
 	finished    bool
+	freeReqs    []*mc.Request // completed requests, reused for new misses (≤ MSHRs+1 live)
 
 	// Stats.
 	memAccesses uint64
@@ -131,11 +133,16 @@ func (c *Core) IPC() float64 {
 // MemStats reports LLC accesses and misses issued by this core.
 func (c *Core) MemStats() (accesses, misses uint64) { return c.memAccesses, c.llcMisses }
 
-// Complete delivers a finished memory request back to the core.
+// Complete delivers a finished memory request back to the core. The
+// request object is recycled for a future miss: once the controller has
+// called back with the completion, nothing else references it.
 func (c *Core) Complete(reqID uint64, at timing.PicoSeconds) {
 	for i, m := range c.outstanding {
 		if m.reqID == reqID {
 			c.outstanding = append(c.outstanding[:i], c.outstanding[i+1:]...)
+			if m.req != nil {
+				c.freeReqs = append(c.freeReqs, m.req)
+			}
 			if at > c.lastDone {
 				c.lastDone = at
 			}
@@ -186,7 +193,7 @@ func (c *Core) Advance(now timing.PicoSeconds) {
 		if !c.enqueue(c.pending) {
 			return
 		}
-		c.outstanding = append(c.outstanding, outstandingMiss{reqID: c.pending.ID, instrIdx: c.pendingIdx})
+		c.outstanding = append(c.outstanding, outstandingMiss{reqID: c.pending.ID, instrIdx: c.pendingIdx, req: c.pending})
 		c.pending = nil
 	}
 	for c.fetchTime <= now {
@@ -219,12 +226,19 @@ func (c *Core) Advance(now timing.PicoSeconds) {
 		}
 		c.llcMisses++
 		c.nextReqID++
-		req := &mc.Request{ID: c.nextReqID, CoreID: c.id, Addr: op.Addr, Write: op.Write, Arrive: c.fetchTime}
+		var req *mc.Request
+		if n := len(c.freeReqs); n > 0 {
+			req = c.freeReqs[n-1]
+			c.freeReqs = c.freeReqs[:n-1]
+		} else {
+			req = &mc.Request{}
+		}
+		*req = mc.Request{ID: c.nextReqID, CoreID: c.id, Addr: op.Addr, Write: op.Write, Arrive: c.fetchTime}
 		if !c.enqueue(req) {
 			c.pending = req
 			c.pendingIdx = c.instrIssued
 			return
 		}
-		c.outstanding = append(c.outstanding, outstandingMiss{reqID: req.ID, instrIdx: c.instrIssued})
+		c.outstanding = append(c.outstanding, outstandingMiss{reqID: req.ID, instrIdx: c.instrIssued, req: req})
 	}
 }

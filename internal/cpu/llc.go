@@ -8,12 +8,14 @@ package cpu
 import "fmt"
 
 // LLC is a shared set-associative last-level cache with LRU replacement.
+// Tag and valid state live in two flat arrays indexed by set×ways — one
+// allocation each instead of one per set, and contiguous for locality.
 type LLC struct {
 	sets     int
 	ways     int
 	lineBits uint
-	tags     [][]uint64 // per set, LRU-ordered: index 0 = MRU
-	valid    [][]bool
+	tags     []uint64 // sets×ways, LRU-ordered within a set: offset 0 = MRU
+	valid    []bool
 
 	hits   uint64
 	misses uint64
@@ -30,14 +32,11 @@ func NewLLC(capacityBytes, ways int) *LLC {
 	if sets <= 0 || sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cpu: LLC sets = %d must be a positive power of two", sets))
 	}
-	l := &LLC{sets: sets, ways: ways, lineBits: 6}
-	l.tags = make([][]uint64, sets)
-	l.valid = make([][]bool, sets)
-	for i := range l.tags {
-		l.tags[i] = make([]uint64, ways)
-		l.valid[i] = make([]bool, ways)
+	return &LLC{
+		sets: sets, ways: ways, lineBits: 6,
+		tags:  make([]uint64, sets*ways),
+		valid: make([]bool, sets*ways),
 	}
-	return l
 }
 
 // Access looks up addr, updating LRU state and allocating on miss
@@ -46,7 +45,8 @@ func (l *LLC) Access(addr uint64) bool {
 	line := addr >> l.lineBits
 	set := int(line) & (l.sets - 1)
 	tag := line / uint64(l.sets)
-	tags, valid := l.tags[set], l.valid[set]
+	base := set * l.ways
+	tags, valid := l.tags[base:base+l.ways], l.valid[base:base+l.ways]
 	for w := 0; w < l.ways; w++ {
 		if valid[w] && tags[w] == tag {
 			// Move to MRU.

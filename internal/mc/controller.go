@@ -71,11 +71,14 @@ type channelCtl struct {
 	bliss      *blissState
 	nextREF    []timing.PicoSeconds // per rank in this channel
 	pendingARR []arrJob
-	hitStreak  map[int]int // global bank -> consecutive row hits
 }
 
 // Controller drives a dram.Device: request queues per channel, scheduling,
 // page policy, auto-refresh, and the RFM/ARR/throttle mitigation hooks.
+//
+// All per-bank bookkeeping is held in dense slices indexed by global bank
+// (the bank count is fixed at construction), keeping the per-ACT hot path
+// free of map lookups and allocations.
 type Controller struct {
 	p        timing.Params
 	dev      *dram.Device
@@ -83,8 +86,21 @@ type Controller struct {
 	cfg      Config
 	channels []*channelCtl
 
-	raa    []int  // per global bank: rolling accumulated ACT counter
-	rfmDue []bool // per global bank: RAA reached RFMTH, ACTs blocked
+	raa       []int  // per global bank: rolling accumulated ACT counter
+	rfmDue    []bool // per global bank: RAA reached RFMTH, ACTs blocked
+	hitStreak []int  // per global bank: consecutive row hits
+
+	// Hoisted scheme properties (constant per run) and per-channel counts
+	// of RFM-due banks, so each tick tests one integer instead of making
+	// interface calls and scanning every bank.
+	rfmCompatible bool
+	rfmTH         int
+	rfmDueCount   []int // per channel: banks with rfmDue set
+
+	// victimPool recycles the buffers pendingARR jobs hold: schemes may
+	// reuse their returned victim slices on the next call, so the
+	// controller copies them into pooled storage until the ARR fires.
+	victimPool [][]uint32
 
 	complete func(req *Request, at timing.PicoSeconds)
 	stats    Stats
@@ -104,20 +120,23 @@ func NewController(dev *dram.Device, cfg Config, complete func(*Request, timing.
 		complete = func(*Request, timing.PicoSeconds) {}
 	}
 	c := &Controller{
-		p:        p,
-		dev:      dev,
-		mapper:   NewAddressMapper(p),
-		cfg:      cfg,
-		raa:      make([]int, dev.NumBanks()),
-		rfmDue:   make([]bool, dev.NumBanks()),
-		complete: complete,
+		p:             p,
+		dev:           dev,
+		mapper:        NewAddressMapper(p),
+		cfg:           cfg,
+		raa:           make([]int, dev.NumBanks()),
+		rfmDue:        make([]bool, dev.NumBanks()),
+		hitStreak:     make([]int, dev.NumBanks()),
+		rfmCompatible: cfg.Scheme.RFMCompatible(),
+		rfmTH:         cfg.Scheme.RFMTH(),
+		rfmDueCount:   make([]int, p.Channels),
+		complete:      complete,
 	}
 	for ch := 0; ch < p.Channels; ch++ {
 		cc := &channelCtl{
-			id:        ch,
-			bliss:     newBlissState(),
-			nextREF:   make([]timing.PicoSeconds, p.Ranks),
-			hitStreak: make(map[int]int),
+			id:      ch,
+			bliss:   newBlissState(),
+			nextREF: make([]timing.PicoSeconds, p.Ranks),
 		}
 		for r := range cc.nextREF {
 			// Stagger refreshes across ranks and channels.
@@ -153,6 +172,38 @@ func (c *Controller) Enqueue(req *Request) bool {
 	return true
 }
 
+// retainVictims copies a scheme's victim list into pooled storage that
+// stays valid until the ARR job consumes it (schemes own their returned
+// slices and may overwrite them on the next call).
+func (c *Controller) retainVictims(v []uint32) []uint32 {
+	var buf []uint32
+	if n := len(c.victimPool); n > 0 {
+		buf = c.victimPool[n-1][:0]
+		c.victimPool = c.victimPool[:n-1]
+	}
+	return append(buf, v...)
+}
+
+// releaseVictims returns a consumed ARR job's buffer to the pool.
+func (c *Controller) releaseVictims(v []uint32) {
+	c.victimPool = append(c.victimPool, v)
+}
+
+// markRFMDue records a bank reaching its RAA threshold (idempotent: raw
+// activations may keep counting past it).
+func (c *Controller) markRFMDue(g int) {
+	if !c.rfmDue[g] {
+		c.rfmDue[g] = true
+		c.rfmDueCount[g/(c.p.Ranks*c.p.Banks)]++
+	}
+}
+
+// clearRFMDue releases a bank after its RFM was issued or skipped.
+func (c *Controller) clearRFMDue(channel, g int) {
+	c.rfmDue[g] = false
+	c.rfmDueCount[channel]--
+}
+
 // Tick advances every channel by one command slot at time now.
 func (c *Controller) Tick(now timing.PicoSeconds) {
 	for _, cc := range c.channels {
@@ -178,12 +229,14 @@ func (c *Controller) tickChannel(cc *channelCtl, now timing.PicoSeconds) {
 			c.dev.PreventiveRefresh(job.bank, job.victims)
 			c.stats.ARRWindows++
 			c.stats.ARRVictims += uint64(len(job.victims))
+			c.releaseVictims(job.victims)
 			cc.pendingARR = append(cc.pendingARR[:i], cc.pendingARR[i+1:]...)
 			return
 		}
 	}
-	// 3. RFM issue (Figure 1 flow).
-	if c.cfg.Scheme.RFMCompatible() {
+	// 3. RFM issue (Figure 1 flow). The per-channel due count makes the
+	// common case (no bank at its RAA threshold) a single integer test.
+	if c.rfmDueCount[cc.id] > 0 {
 		base := cc.id * c.p.Ranks * c.p.Banks
 		for g := base; g < base+c.p.Ranks*c.p.Banks; g++ {
 			if !c.rfmDue[g] {
@@ -193,7 +246,7 @@ func (c *Controller) tickChannel(cc *channelCtl, now timing.PicoSeconds) {
 			c.stats.MRRReads++
 			if c.cfg.Scheme.SkipRFM(g) {
 				c.raa[g] = 0
-				c.rfmDue[g] = false
+				c.clearRFMDue(cc.id, g)
 				c.stats.RFMSkipped++
 				continue // skip costs no command slot beyond the MRR
 			}
@@ -206,7 +259,7 @@ func (c *Controller) tickChannel(cc *channelCtl, now timing.PicoSeconds) {
 				c.dev.PreventiveRefresh(g, victims)
 			}
 			c.raa[g] = 0
-			c.rfmDue[g] = false
+			c.clearRFMDue(cc.id, g)
 			c.stats.RFMIssued++
 			return
 		}
@@ -251,26 +304,26 @@ func (c *Controller) serve(cc *channelCtl, req *Request, now timing.PicoSeconds)
 	g := req.Loc.GlobalBank
 	activated, dataAt := c.dev.Access(g, req.Loc.Row, req.Write, now)
 	if activated {
-		if c.cfg.Scheme.RFMCompatible() {
+		if c.rfmCompatible {
 			c.raa[g]++
-			if c.raa[g] >= c.cfg.Scheme.RFMTH() {
-				c.rfmDue[g] = true
+			if c.raa[g] >= c.rfmTH {
+				c.markRFMDue(g)
 			}
 		}
 		if victims := c.cfg.Scheme.OnActivate(g, uint32(req.Loc.Row), req.CoreID, now); len(victims) > 0 {
-			cc.pendingARR = append(cc.pendingARR, arrJob{bank: g, victims: victims})
+			cc.pendingARR = append(cc.pendingARR, arrJob{bank: g, victims: c.retainVictims(victims)})
 		}
-		cc.hitStreak[g] = 0
+		c.hitStreak[g] = 0
 	} else {
-		cc.hitStreak[g]++
+		c.hitStreak[g]++
 	}
 	switch c.cfg.Policy {
 	case ClosedPage:
 		c.dev.Bank(g).Precharge(dataAt)
 	case MinimalistOpen:
-		if cc.hitStreak[g] >= minimalistHitCap-1 {
+		if c.hitStreak[g] >= minimalistHitCap-1 {
 			c.dev.Bank(g).Precharge(dataAt)
-			cc.hitStreak[g] = 0
+			c.hitStreak[g] = 0
 		}
 	}
 	if c.cfg.Scheduler == BLISS {
@@ -288,15 +341,15 @@ func (c *Controller) RawActivate(globalBank int, row int, now timing.PicoSeconds
 		panic(fmt.Sprintf("mc: bank %d out of range", globalBank))
 	}
 	done := c.dev.ActivateOnly(globalBank, row, now)
-	if c.cfg.Scheme.RFMCompatible() {
+	if c.rfmCompatible {
 		c.raa[globalBank]++
-		if c.raa[globalBank] >= c.cfg.Scheme.RFMTH() {
-			c.rfmDue[globalBank] = true
+		if c.raa[globalBank] >= c.rfmTH {
+			c.markRFMDue(globalBank)
 		}
 	}
 	ch := c.channels[globalBank/(c.p.Ranks*c.p.Banks)]
 	if victims := c.cfg.Scheme.OnActivate(globalBank, uint32(row), -1, now); len(victims) > 0 {
-		ch.pendingARR = append(ch.pendingARR, arrJob{bank: globalBank, victims: victims})
+		ch.pendingARR = append(ch.pendingARR, arrJob{bank: globalBank, victims: c.retainVictims(victims)})
 	}
 	return done
 }
@@ -315,8 +368,8 @@ func (c *Controller) PendingWork() bool {
 			return true
 		}
 	}
-	for _, due := range c.rfmDue {
-		if due {
+	for _, n := range c.rfmDueCount {
+		if n > 0 {
 			return true
 		}
 	}
@@ -364,9 +417,15 @@ func (c *Controller) NextWork(now timing.PicoSeconds) timing.PicoSeconds {
 			consider(t)
 		}
 	}
-	for g, due := range c.rfmDue {
-		if due {
-			consider(c.dev.Bank(g).BusyUntil())
+	for ch, n := range c.rfmDueCount {
+		if n == 0 {
+			continue
+		}
+		base := ch * c.p.Ranks * c.p.Banks
+		for g := base; g < base+c.p.Ranks*c.p.Banks; g++ {
+			if c.rfmDue[g] {
+				consider(c.dev.Bank(g).BusyUntil())
+			}
 		}
 	}
 	return next

@@ -133,6 +133,36 @@ func TestBLISSBlacklistsStreakyCore(t *testing.T) {
 	}
 }
 
+// TestBlissStateSparseCoreIDs covers the dense blacklist directly: it must
+// grow on demand for arbitrary core IDs, ignore unowned serves (core -1),
+// and release cores after the clearing interval.
+func TestBlissStateSparseCoreIDs(t *testing.T) {
+	b := newBlissState()
+	now := timing.PicoSeconds(0)
+	if b.blacklisted(7, now) {
+		t.Fatal("fresh state must not blacklist")
+	}
+	for i := 0; i < blissStreakLimit; i++ {
+		b.recordServe(7, now)
+	}
+	if !b.blacklisted(7, now) {
+		t.Fatal("core 7 should be blacklisted after a full streak")
+	}
+	if b.blacklisted(3, now) || b.blacklisted(100, now) {
+		t.Fatal("other cores must stay whitelisted")
+	}
+	if b.blacklisted(7, now+blissClearInterval) {
+		t.Fatal("blacklist must clear after the interval")
+	}
+	// Unowned serves (raw activations) must neither panic nor blacklist.
+	for i := 0; i < 2*blissStreakLimit; i++ {
+		b.recordServe(-1, now)
+	}
+	if b.blacklisted(-1, now) {
+		t.Fatal("core -1 must never be blacklisted")
+	}
+}
+
 func TestAutoRefreshIssuedPeriodically(t *testing.T) {
 	p := testParams()
 	dev := dram.NewDevice(p, 1<<30, nil)

@@ -43,11 +43,14 @@ func (k SchedulerKind) String() string {
 	}
 }
 
-// blissState tracks BLISS's serve streak and blacklist per channel.
+// blissState tracks BLISS's serve streak and blacklist per channel. The
+// blacklist is a dense slice indexed by core ID, grown on demand (core
+// counts are small and stable), so the scheduler's inner loop stays free of
+// map lookups.
 type blissState struct {
 	lastCore  int
 	streak    int
-	blackTill map[int]timing.PicoSeconds
+	blackTill []timing.PicoSeconds // per core: blacklist release time
 }
 
 // blissStreakLimit and blissClearInterval follow the BLISS paper's default
@@ -59,18 +62,23 @@ const (
 )
 
 func newBlissState() *blissState {
-	return &blissState{lastCore: -1, blackTill: make(map[int]timing.PicoSeconds)}
+	return &blissState{lastCore: -1}
 }
 
 func (b *blissState) blacklisted(core int, now timing.PicoSeconds) bool {
-	return b.blackTill[core] > now
+	return core >= 0 && core < len(b.blackTill) && b.blackTill[core] > now
 }
 
 func (b *blissState) recordServe(core int, now timing.PicoSeconds) {
 	if core == b.lastCore {
 		b.streak++
 		if b.streak >= blissStreakLimit {
-			b.blackTill[core] = now + blissClearInterval
+			if core >= 0 {
+				for core >= len(b.blackTill) {
+					b.blackTill = append(b.blackTill, 0)
+				}
+				b.blackTill[core] = now + blissClearInterval
+			}
 			b.streak = 0
 		}
 		return

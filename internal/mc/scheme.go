@@ -23,6 +23,11 @@ type Scheme interface {
 	// return victim rows that must be refreshed immediately (the
 	// controller opens an ARR maintenance window for them); RFM-based
 	// schemes return nil.
+	//
+	// The returned slice is owned by the scheme and only valid until its
+	// next OnActivate/OnRFM call — schemes reuse one victim buffer to keep
+	// the ACT hot path allocation-free. Callers that retain victims (the
+	// controller's pending-ARR queue) must copy them.
 	OnActivate(globalBank int, row uint32, coreID int, now timing.PicoSeconds) (arrVictims []uint32)
 
 	// PreACTDelay lets throttling schemes (BlockHammer) postpone an ACT:
@@ -33,6 +38,7 @@ type Scheme interface {
 	// OnRFM is invoked when the controller issues an RFM command to a
 	// bank; the scheme returns the victim rows it refreshes inside the
 	// tRFM window (empty when it decides to idle, e.g. adaptive skip).
+	// The returned slice follows the same reuse contract as OnActivate's.
 	OnRFM(globalBank int, now timing.PicoSeconds) (victims []uint32)
 
 	// SkipRFM is the Mithril+ MRR poll: when it reports true at the

@@ -20,14 +20,17 @@ import (
 // blacklist the *benign* row — the Figure 10(c) performance attack, exposed
 // here through the CollidingRows oracle.
 type BlockHammer struct {
-	opt      Options
-	nbl      uint64
-	tDelay   timing.PicoSeconds
-	filters  map[int]*streaming.DualCBF
-	nextACT  map[uint64]timing.PicoSeconds // (bank,row) -> earliest next ACT
-	coreBad  map[int]int                   // core -> blacklisted-ACT attempts
-	coreTill map[int]timing.PicoSeconds    // core -> thread throttle release
-	epoch    int
+	opt    Options
+	nbl    uint64
+	tDelay timing.PicoSeconds
+	// Per-bank dense state: filters are built on a bank's first ACT;
+	// nextACT[bank] is a per-row release-time array allocated on the
+	// bank's first blacklist event (only hammered banks pay for it),
+	// replacing the former (bank,row) composite-key map on the hot path.
+	filters  []*streaming.DualCBF
+	nextACT  [][]timing.PicoSeconds
+	coreBad  []int                // per core: blacklisted-ACT attempts (grown on demand)
+	coreTill []timing.PicoSeconds // per core: thread throttle release
 
 	cbfCounters int
 	cbfHashes   int
@@ -63,10 +66,8 @@ func NewBlockHammer(opt Options) *BlockHammer {
 		opt:         opt,
 		nbl:         uint64(nbl),
 		tDelay:      delay,
-		filters:     make(map[int]*streaming.DualCBF),
-		nextACT:     make(map[uint64]timing.PicoSeconds),
-		coreBad:     make(map[int]int),
-		coreTill:    make(map[int]timing.PicoSeconds),
+		filters:     make([]*streaming.DualCBF, opt.banks()),
+		nextACT:     make([][]timing.PicoSeconds, opt.banks()),
 		cbfCounters: counters,
 		cbfHashes:   4,
 	}
@@ -93,8 +94,8 @@ func (s *BlockHammer) RFMCompatible() bool { return false }
 func (s *BlockHammer) RFMTH() int { return 0 }
 
 func (s *BlockHammer) filter(bank int) *streaming.DualCBF {
-	f, ok := s.filters[bank]
-	if !ok {
+	f := s.filters[bank]
+	if f == nil {
 		// Half-epoch tCBF/2 expressed in per-bank ACT capacity.
 		half := s.opt.Timing.ACTsPerREFW() / 2
 		if half < 1 {
@@ -106,8 +107,6 @@ func (s *BlockHammer) filter(bank int) *streaming.DualCBF {
 	return f
 }
 
-func rowKey(bank int, row uint32) uint64 { return uint64(bank)<<32 | uint64(row) }
-
 // OnActivate implements mc.Scheme: feed the filters, arm the row throttle
 // when the estimate crosses NBL, and escalate repeat-offender threads.
 func (s *BlockHammer) OnActivate(bank int, row uint32, core int, now timing.PicoSeconds) []uint32 {
@@ -115,8 +114,17 @@ func (s *BlockHammer) OnActivate(bank int, row uint32, core int, now timing.Pico
 	f.Observe(row)
 	if f.Estimate(row) >= s.nbl {
 		s.blacklisted++
-		s.nextACT[rowKey(bank, row)] = now + s.tDelay
+		na := s.nextACT[bank]
+		if na == nil {
+			na = make([]timing.PicoSeconds, s.opt.Timing.Rows)
+			s.nextACT[bank] = na
+		}
+		na[row] = now + s.tDelay
 		if core >= 0 {
+			for core >= len(s.coreBad) {
+				s.coreBad = append(s.coreBad, 0)
+				s.coreTill = append(s.coreTill, 0)
+			}
 			s.coreBad[core]++
 			if s.coreBad[core] >= blockHammerThreadThreshold {
 				s.coreTill[core] = now + s.tDelay
@@ -129,8 +137,11 @@ func (s *BlockHammer) OnActivate(bank int, row uint32, core int, now timing.Pico
 // PreACTDelay implements mc.Scheme: blacklisted rows (and escalated
 // threads) wait out their release times.
 func (s *BlockHammer) PreACTDelay(bank int, row uint32, core int, now timing.PicoSeconds) timing.PicoSeconds {
-	until := s.nextACT[rowKey(bank, row)]
-	if core >= 0 {
+	var until timing.PicoSeconds
+	if na := s.nextACT[bank]; na != nil {
+		until = na[row]
+	}
+	if core >= 0 && core < len(s.coreTill) {
 		if t := s.coreTill[core]; t > until {
 			until = t
 		}

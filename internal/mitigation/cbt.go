@@ -20,9 +20,10 @@ type CBT struct {
 	maxNodes  int
 	refreshTH uint64
 	splitTH   uint64
-	banks     map[int][]cbtNode
-	groupRefs uint64 // group refreshes executed
-	rowsRefd  uint64 // total rows refreshed
+	banks     [][]cbtNode // per global bank, seeded with one full-range node on first ACT
+	vbuf      []uint32    // reusable victim buffer (mc.Scheme contract)
+	groupRefs uint64      // group refreshes executed
+	rowsRefd  uint64      // total rows refreshed
 }
 
 type cbtNode struct {
@@ -50,7 +51,7 @@ func NewCBT(opt Options) *CBT {
 		maxNodes:  n,
 		refreshTH: refreshTH,
 		splitTH:   refreshTH / 2,
-		banks:     make(map[int][]cbtNode),
+		banks:     make([][]cbtNode, opt.banks()),
 	}
 }
 
@@ -72,8 +73,8 @@ func (s *CBT) RFMTH() int { return 0 }
 
 // OnActivate implements mc.Scheme.
 func (s *CBT) OnActivate(bank int, row uint32, core int, now timing.PicoSeconds) []uint32 {
-	nodes, ok := s.banks[bank]
-	if !ok {
+	nodes := s.banks[bank]
+	if nodes == nil {
 		nodes = []cbtNode{{lo: 0, hi: s.opt.Timing.Rows}}
 	}
 	idx := -1
@@ -103,11 +104,13 @@ func (s *CBT) OnActivate(bank int, row uint32, core int, now timing.PicoSeconds)
 	var victimRows []uint32
 	if nodes[idx].count >= s.refreshTH {
 		n := nodes[idx]
+		victimRows = s.vbuf[:0]
 		for r := n.lo - s.opt.BlastRadius; r < n.hi+s.opt.BlastRadius; r++ {
 			if r >= 0 && r < s.opt.Timing.Rows {
 				victimRows = append(victimRows, uint32(r))
 			}
 		}
+		s.vbuf = victimRows
 		nodes[idx].count = 0
 		s.groupRefs++
 		s.rowsRefd += uint64(len(victimRows))

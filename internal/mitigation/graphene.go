@@ -16,8 +16,9 @@ type Graphene struct {
 	opt       Options
 	threshold uint64
 	nEntry    int
-	tables    map[int]streaming.Summary
-	nextLevel map[int]map[uint32]uint64 // bank -> row -> next trigger level
+	tables    []*streaming.SpaceSaving // per global bank, built on first ACT
+	nextLevel []map[uint32]uint64      // per global bank: row -> next trigger level
+	vbuf      []uint32                 // reusable victim buffer (mc.Scheme contract)
 	lastReset timing.PicoSeconds
 	resets    uint64
 	arrCount  uint64
@@ -42,8 +43,8 @@ func NewGraphene(opt Options) *Graphene {
 		opt:       opt,
 		threshold: t,
 		nEntry:    n,
-		tables:    make(map[int]streaming.Summary),
-		nextLevel: make(map[int]map[uint32]uint64),
+		tables:    make([]*streaming.SpaceSaving, opt.banks()),
+		nextLevel: make([]map[uint32]uint64, opt.banks()),
 	}
 }
 
@@ -65,34 +66,37 @@ func (s *Graphene) RFMCompatible() bool { return false }
 // RFMTH implements mc.Scheme.
 func (s *Graphene) RFMTH() int { return 0 }
 
-func (s *Graphene) table(bank int) streaming.Summary {
-	t, ok := s.tables[bank]
-	if !ok {
-		t = streaming.NewSpaceSaving(s.nEntry)
-		s.tables[bank] = t
-	}
-	return t
-}
-
 // OnActivate implements mc.Scheme: CbS update plus reactive ARR trigger.
 func (s *Graphene) OnActivate(bank int, row uint32, core int, now timing.PicoSeconds) []uint32 {
 	// Periodic reset at every tREFW/2.
 	if now-s.lastReset >= s.opt.Timing.TREFW/2 {
-		for _, t := range s.tables {
-			t.Reset()
+		for b, t := range s.tables {
+			if t != nil {
+				t.Reset()
+			}
+			s.nextLevel[b] = nil
 		}
-		s.nextLevel = make(map[int]map[uint32]uint64)
 		s.lastReset = now
 		s.resets++
 	}
-	t := s.table(bank)
-	t.Observe(row)
-	est := t.Estimate(row)
+	t := s.tables[bank]
+	if t == nil {
+		t = streaming.NewSpaceSaving(s.nEntry)
+		s.tables[bank] = t
+	}
 	levels := s.nextLevel[bank]
 	if levels == nil {
-		levels = make(map[uint32]uint64)
+		levels = make(map[uint32]uint64, s.nEntry)
 		s.nextLevel[bank] = levels
 	}
+	if evicted, ok := t.ObserveEvict(row); ok {
+		// Trigger levels are keyed to table residency: a row the CbS
+		// evicts must restart at the base threshold if it re-enters.
+		// Letting the old (higher) level survive would let a returning
+		// aggressor skip ARR refreshes until the next half-window reset.
+		delete(levels, evicted)
+	}
+	est := t.Estimate(row)
 	next, ok := levels[row]
 	if !ok {
 		next = s.threshold
@@ -102,7 +106,8 @@ func (s *Graphene) OnActivate(bank int, row uint32, core int, now timing.PicoSec
 	}
 	levels[row] = next + s.threshold
 	s.arrCount++
-	return victims(row, s.opt.BlastRadius)
+	s.vbuf = appendVictims(s.vbuf, row, s.opt.BlastRadius)
+	return s.vbuf
 }
 
 // PreACTDelay implements mc.Scheme.

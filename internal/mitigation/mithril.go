@@ -18,7 +18,7 @@ type MithrilScheme struct {
 	opt     Options
 	cfg     core.Config
 	plus    bool
-	modules map[int]*core.Mithril
+	modules []*core.Mithril // per global bank, built on first use
 }
 
 var _ mc.Scheme = (*MithrilScheme)(nil)
@@ -55,7 +55,7 @@ func newMithril(opt Options, plus bool) *MithrilScheme {
 			BlastRadius: opt.BlastRadius,
 		},
 		plus:    plus,
-		modules: make(map[int]*core.Mithril),
+		modules: make([]*core.Mithril, opt.banks()),
 	}
 }
 
@@ -72,6 +72,9 @@ func (s *MithrilScheme) TableKB() float64 {
 func (s *MithrilScheme) ModuleStats() core.Stats {
 	var total core.Stats
 	for _, m := range s.modules {
+		if m == nil {
+			continue
+		}
 		st := m.Stats()
 		total.ACTs += st.ACTs
 		total.RFMs += st.RFMs
@@ -86,8 +89,8 @@ func (s *MithrilScheme) ModuleStats() core.Stats {
 }
 
 func (s *MithrilScheme) module(bank int) *core.Mithril {
-	m, ok := s.modules[bank]
-	if !ok {
+	m := s.modules[bank]
+	if m == nil {
 		m = core.New(s.cfg)
 		s.modules[bank] = m
 	}

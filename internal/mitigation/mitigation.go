@@ -10,17 +10,25 @@
 //	Mithril(+)   deterministic · RFM       · DRAM (CbS, this paper)
 //
 // All schemes are configured from (timing.Params, FlipTH) exactly the way
-// Section VI-A describes, via the Options/Build factory.
+// Section VI-A describes, via the Options/Build factory. Per-bank tracker
+// state is sized as dense arrays from the Params bank count at
+// construction — the ACT/RFM hot path performs no map lookups and no
+// allocations (victim lists are returned in reusable buffers per the
+// mc.Scheme contract).
 package mitigation
 
 import (
 	"fmt"
 
+	"mithril/internal/core"
 	"mithril/internal/mc"
 	"mithril/internal/timing"
 )
 
-// Options carries the common configuration for scheme construction.
+// Options carries the common configuration for scheme construction. The
+// bank count is taken from Timing (Channels × Ranks × Banks, fixed at
+// build time); every scheme sizes its per-bank tracker state as dense
+// arrays from it, mirroring the fixed-size SRAM of the hardware modeled.
 type Options struct {
 	Timing timing.Params
 	// FlipTH is the RowHammer threshold to protect.
@@ -34,9 +42,20 @@ type Options struct {
 	// AdTH is Mithril's adaptive-refresh threshold; the paper's default
 	// is 200. Negative disables the adaptive policy (AdTH = 0).
 	AdTH int
-	// Seed drives the probabilistic schemes deterministically.
+	// Seed drives the probabilistic schemes deterministically. Zero is a
+	// sentinel for the package default DefaultSeed, so Seed = 0 and
+	// Seed = DefaultSeed configure identical RNG streams — callers who
+	// need distinct streams must pick any other value.
 	Seed uint64
 }
+
+// DefaultSeed is the RNG seed normalize substitutes for a zero Seed
+// ("mithril" in ASCII). An explicit Seed = DefaultSeed is indistinguishable
+// from the zero value.
+const DefaultSeed = 0x6d69746872696c
+
+// banks reports the total bank count the per-bank dense state is sized to.
+func (o *Options) banks() int { return o.Timing.TotalBanks() }
 
 func (o *Options) normalize() {
 	if o.BlastRadius <= 0 {
@@ -49,7 +68,7 @@ func (o *Options) normalize() {
 		o.AdTH = 0
 	}
 	if o.Seed == 0 {
-		o.Seed = 0x6d69746872696c // "mithril"
+		o.Seed = DefaultSeed
 	}
 }
 
@@ -71,17 +90,13 @@ func PaperRFMTH(flipTH int) int {
 	}
 }
 
-// victims lists rows within radius of aggressor on both sides (bank-local,
-// clamped at zero; the device clamps the upper edge).
-func victims(aggressor uint32, radius int) []uint32 {
-	out := make([]uint32, 0, 2*radius)
-	for d := 1; d <= radius; d++ {
-		if aggressor >= uint32(d) {
-			out = append(out, aggressor-uint32(d))
-		}
-		out = append(out, aggressor+uint32(d))
-	}
-	return out
+// appendVictims writes the rows within radius of aggressor on both sides
+// (bank-local, clamped at zero; the device clamps the upper edge) into buf,
+// reusing its storage. Schemes keep one such buffer so the ACT/RFM hot path
+// stays allocation-free; per the mc.Scheme contract the result is only
+// valid until the scheme's next call.
+func appendVictims(buf []uint32, aggressor uint32, radius int) []uint32 {
+	return core.AppendVictimRows(buf[:0], aggressor, radius)
 }
 
 // Build constructs a scheme by name: "none", "para", "parfm", "graphene",

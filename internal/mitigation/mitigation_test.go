@@ -36,6 +36,71 @@ func TestPaperRFMTH(t *testing.T) {
 	}
 }
 
+func TestPaperRFMTHBoundaries(t *testing.T) {
+	// The Section VI-A assignment is a step function on FlipTH; pin the
+	// step edges and the region below the paper's lowest level.
+	cases := map[int]int{
+		25001: 256, 25000: 256, 24999: 128,
+		6251: 128, 6250: 128, 6249: 64,
+		3126: 64, 3125: 64, 3124: 32,
+		1500: 32, 1499: 32, 100: 32, 1: 32,
+	}
+	for f, want := range cases {
+		if got := PaperRFMTH(f); got != want {
+			t.Errorf("PaperRFMTH(%d) = %d, want %d", f, got, want)
+		}
+	}
+}
+
+func TestNormalizeBoundaries(t *testing.T) {
+	base := Options{Timing: timing.DDR5(), FlipTH: 6250}
+
+	// Negative AdTH is the documented "disable adaptive refresh" encoding.
+	o := base
+	o.AdTH = -1
+	o.normalize()
+	if o.AdTH != 0 {
+		t.Errorf("negative AdTH should normalize to 0 (disabled), got %d", o.AdTH)
+	}
+
+	// Zero AdTH means "paper default".
+	o = base
+	o.normalize()
+	if o.AdTH != DefaultAdTH {
+		t.Errorf("zero AdTH should normalize to %d, got %d", DefaultAdTH, o.AdTH)
+	}
+
+	// Zero seed is a sentinel for DefaultSeed: an explicit DefaultSeed is
+	// indistinguishable from the zero value (documented aliasing).
+	zero, explicit := base, base
+	explicit.Seed = DefaultSeed
+	zero.normalize()
+	explicit.normalize()
+	if zero.Seed != explicit.Seed {
+		t.Errorf("Seed=0 (%#x) and Seed=DefaultSeed (%#x) must configure identical streams",
+			zero.Seed, explicit.Seed)
+	}
+	if zero.Seed != DefaultSeed {
+		t.Errorf("zero seed should normalize to DefaultSeed %#x, got %#x", uint64(DefaultSeed), zero.Seed)
+	}
+
+	// Any other explicit seed survives normalization.
+	o = base
+	o.Seed = 42
+	o.normalize()
+	if o.Seed != 42 {
+		t.Errorf("explicit seed must be preserved, got %#x", o.Seed)
+	}
+
+	// Non-positive blast radius defaults to double-sided.
+	o = base
+	o.BlastRadius = -3
+	o.normalize()
+	if o.BlastRadius != 1 {
+		t.Errorf("non-positive BlastRadius should normalize to 1, got %d", o.BlastRadius)
+	}
+}
+
 // replayAttack drives a scheme directly (no full simulator): row activations
 // at tRC pace with RFM every RFMTH ACTs (when compatible), applying
 // ARR/preventive refreshes to a fault checker. Returns the checker report.
@@ -197,6 +262,53 @@ func TestGrapheneTriggersAtThresholdMultiples(t *testing.T) {
 	}
 	if triggers != 2 {
 		t.Fatalf("triggers = %d over 2T+2 ACTs, want 2 (at T and 2T)", triggers)
+	}
+}
+
+// TestGrapheneEvictionClearsTriggerLevel pins the fix for stale CbS trigger
+// levels: a row that crossed its trigger (level raised to 2T), was evicted
+// from the table, and later re-enters must restart at the base threshold T.
+// Before the fix, the stale 2T level survived eviction and the returning
+// row missed ARR refreshes until the next half-window reset.
+func TestGrapheneEvictionClearsTriggerLevel(t *testing.T) {
+	// Compress the refresh window so the table holds exactly 2 entries
+	// (N = ⌈(S/2)/T⌉ with T = FlipTH/4) — evictions become forceable.
+	p := timing.DDR5()
+	p.TREFW = 100 * p.TREFI
+	s := NewGraphene(Options{Timing: p, FlipTH: 8000, Seed: 7})
+	if s.NEntry() != 2 {
+		t.Fatalf("test geometry: NEntry = %d, want 2", s.NEntry())
+	}
+	th := s.Threshold()
+
+	// All activity at now=0: no periodic reset interferes.
+	hammer := func(row uint32, n uint64) (triggers int) {
+		for i := uint64(0); i < n; i++ {
+			if len(s.OnActivate(0, row, 0, 0)) > 0 {
+				triggers++
+			}
+		}
+		return triggers
+	}
+
+	// Row A crosses T exactly once; its next level is now 2T.
+	if got := hammer(10, th); got != 1 {
+		t.Fatalf("row A: %d triggers over T ACTs, want 1", got)
+	}
+	// Row B fills the second slot and crosses T, then pulls one count
+	// ahead of A so that A is the table minimum.
+	if got := hammer(20, th+1); got != 1 {
+		t.Fatalf("row B: %d triggers over T+1 ACTs, want 1", got)
+	}
+	// Row C evicts A (the minimum entry) and inherits its count + 1 ≥ T —
+	// the CbS overestimate triggers C immediately.
+	if got := hammer(30, 1); got != 1 {
+		t.Fatalf("row C insertion: %d triggers, want 1 (CbS overestimate)", got)
+	}
+	// Row A re-enters, inheriting the current minimum + 1 ≥ T. Its old 2T
+	// level must be gone: the ARR must fire on this very ACT.
+	if got := hammer(10, 1); got != 1 {
+		t.Fatalf("re-inserted row A: %d triggers, want 1 — stale trigger level survived eviction", got)
 	}
 }
 

@@ -18,9 +18,10 @@ import (
 //
 // (a victim is refreshed by each adjacent ACT with probability p/2).
 type PARA struct {
-	opt Options
-	p   float64
-	rng *streaming.Rand
+	opt  Options
+	p    float64
+	rng  *streaming.Rand
+	vbuf [1]uint32 // reusable single-victim buffer (mc.Scheme contract)
 }
 
 var _ mc.Scheme = (*PARA)(nil)
@@ -56,9 +57,11 @@ func (s *PARA) OnActivate(bank int, row uint32, core int, now timing.PicoSeconds
 	// Refresh one random neighbour within the blast radius.
 	d := uint32(s.rng.Intn(s.opt.BlastRadius) + 1)
 	if s.rng.Float64() < 0.5 && row >= d {
-		return []uint32{row - d}
+		s.vbuf[0] = row - d
+	} else {
+		s.vbuf[0] = row + d
 	}
-	return []uint32{row + d}
+	return s.vbuf[:]
 }
 
 // PreACTDelay implements mc.Scheme.
@@ -77,8 +80,9 @@ func (s *PARA) SkipRFM(int) bool { return false }
 type PARFM struct {
 	opt    Options
 	rfmTH  int
-	recent map[int][]uint32 // per bank: ring of the last RFMTH ACT'd rows
-	pos    map[int]int
+	recent [][]uint32 // per global bank: ring of the last RFMTH ACT'd rows
+	pos    []int      // per global bank: ring write position
+	vbuf   []uint32   // reusable victim buffer (mc.Scheme contract)
 	rng    *streaming.Rand
 }
 
@@ -99,8 +103,8 @@ func NewPARFM(opt Options) *PARFM {
 	return &PARFM{
 		opt:    opt,
 		rfmTH:  rfmTH,
-		recent: make(map[int][]uint32),
-		pos:    make(map[int]int),
+		recent: make([][]uint32, opt.banks()),
+		pos:    make([]int, opt.banks()),
 		rng:    streaming.NewRand(opt.Seed + 1),
 	}
 }
@@ -140,7 +144,8 @@ func (s *PARFM) OnRFM(bank int, now timing.PicoSeconds) []uint32 {
 		return nil
 	}
 	aggressor := ring[s.rng.Intn(len(ring))]
-	return victims(aggressor, s.opt.BlastRadius)
+	s.vbuf = appendVictims(s.vbuf, aggressor, s.opt.BlastRadius)
+	return s.vbuf
 }
 
 // SkipRFM implements mc.Scheme.

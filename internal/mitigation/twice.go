@@ -15,8 +15,9 @@ import (
 type TWiCe struct {
 	opt       Options
 	threshold uint64
-	tables    map[int]*streaming.LossyCounting
+	tables    []*streaming.LossyCounting // per global bank, built on first ACT
 	width     int
+	vbuf      []uint32 // reusable victim buffer (mc.Scheme contract)
 	lastReset timing.PicoSeconds
 	arrCount  uint64
 }
@@ -44,7 +45,7 @@ func NewTWiCe(opt Options) *TWiCe {
 		opt:       opt,
 		threshold: th,
 		width:     width,
-		tables:    make(map[int]*streaming.LossyCounting),
+		tables:    make([]*streaming.LossyCounting, opt.banks()),
 	}
 }
 
@@ -56,7 +57,7 @@ func (s *TWiCe) Threshold() uint64 { return s.threshold }
 func (s *TWiCe) MaxLiveEntries() int {
 	max := 0
 	for _, t := range s.tables {
-		if t.MaxLive() > max {
+		if t != nil && t.MaxLive() > max {
 			max = t.MaxLive()
 		}
 	}
@@ -76,12 +77,14 @@ func (s *TWiCe) RFMTH() int { return 0 }
 func (s *TWiCe) OnActivate(bank int, row uint32, core int, now timing.PicoSeconds) []uint32 {
 	if now-s.lastReset >= s.opt.Timing.TREFW {
 		for _, t := range s.tables {
-			t.Reset()
+			if t != nil {
+				t.Reset()
+			}
 		}
 		s.lastReset = now
 	}
-	t, ok := s.tables[bank]
-	if !ok {
+	t := s.tables[bank]
+	if t == nil {
 		t = streaming.NewLossyCounting(s.width)
 		s.tables[bank] = t
 	}
@@ -92,7 +95,8 @@ func (s *TWiCe) OnActivate(bank int, row uint32, core int, now timing.PicoSecond
 	// Trigger: refresh victims, drop the entry (its count restarts).
 	t.Drop(row)
 	s.arrCount++
-	return victims(row, s.opt.BlastRadius)
+	s.vbuf = appendVictims(s.vbuf, row, s.opt.BlastRadius)
+	return s.vbuf
 }
 
 // PreACTDelay implements mc.Scheme.

@@ -5,7 +5,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"mithril/internal/cpu"
@@ -92,18 +91,51 @@ type completion struct {
 	reqID uint64
 }
 
+// completionHeap is a typed binary min-heap on completion time. A manual
+// implementation instead of container/heap keeps the per-miss push/pop on
+// the simulator's hot loop free of interface boxing (one allocation per
+// memory access otherwise). Delivery order among equal times is
+// unspecified; completions commute (each touches only its own core).
 type completionHeap []completion
 
-func (h completionHeap) Len() int            { return len(h) }
-func (h completionHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
-func (h *completionHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *completionHeap) push(c completion) {
+	*h = append(*h, c)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].at <= s[i].at {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *completionHeap) pop() completion {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s[l].at < s[min].at {
+			min = l
+		}
+		if r < n && s[r].at < s[min].at {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 // genSource adapts a trace.Generator to the core's Source interface.
@@ -131,7 +163,7 @@ func Run(cfg Config) (Result, error) {
 		Policy:    cfg.Policy,
 		Scheme:    scheme,
 	}, func(r *mc.Request, at timing.PicoSeconds) {
-		heap.Push(&pending, completion{at: at, core: r.CoreID, reqID: r.ID})
+		pending.push(completion{at: at, core: r.CoreID, reqID: r.ID})
 	})
 	llc := cpu.NewLLC(cfg.LLCBytes, cfg.LLCWays)
 	space := ctl.Mapper().AddressSpace()
@@ -145,7 +177,7 @@ func Run(cfg Config) (Result, error) {
 	for {
 		// Deliver due completions.
 		for len(pending) > 0 && pending[0].at <= now {
-			c := heap.Pop(&pending).(completion)
+			c := pending.pop()
 			cores[c.core].Complete(c.reqID, c.at)
 		}
 		required := cfg.RequireCores

@@ -64,10 +64,15 @@ func NewCbS(capacity int) *CbS {
 // Observe implements the CbS update rule (Figure 3 of the paper): increment
 // on hit; otherwise replace the minimum entry's address with the new key and
 // increment its counter.
-func (c *CbS) Observe(key uint32) {
-	if slot, ok := c.index[key]; ok {
+func (c *CbS) Observe(key uint32) { c.ObserveEvict(key) }
+
+// ObserveEvict is Observe plus eviction reporting: when recording key
+// displaces the minimum entry, the displaced key is returned with ok = true
+// (mirrors SpaceSaving.ObserveEvict for the property tests).
+func (c *CbS) ObserveEvict(key uint32) (evicted uint32, ok bool) {
+	if slot, hit := c.index[key]; hit {
 		c.counts[slot]++
-		return
+		return 0, false
 	}
 	// Prefer an unused slot (counter value 0, the true minimum).
 	if len(c.index) < len(c.keys) {
@@ -77,15 +82,17 @@ func (c *CbS) Observe(key uint32) {
 				c.keys[slot] = key
 				c.counts[slot] = 1
 				c.index[key] = slot
-				return
+				return 0, false
 			}
 		}
 	}
 	slot := c.minSlot()
-	delete(c.index, c.keys[slot])
+	old := c.keys[slot]
+	delete(c.index, old)
 	c.keys[slot] = key
 	c.counts[slot]++
 	c.index[key] = slot
+	return old, true
 }
 
 func (c *CbS) minSlot() int {

@@ -370,6 +370,38 @@ func TestImplementationsAgreeOnCountMultiset(t *testing.T) {
 	}
 }
 
+// evicter is the eviction-reporting extension both implementations provide
+// for trackers that key side state to table residency (Graphene levels).
+type evicter interface {
+	ObserveEvict(key uint32) (uint32, bool)
+	Contains(key uint32) bool
+}
+
+func TestObserveEvictReportsDisplacedKey(t *testing.T) {
+	for name, s := range newSummaries(2) {
+		e := s.(evicter)
+		// Fills report no eviction.
+		if _, ok := e.ObserveEvict(1); ok {
+			t.Errorf("%s: insertion into free slot reported an eviction", name)
+		}
+		if _, ok := e.ObserveEvict(2); ok {
+			t.Errorf("%s: insertion into free slot reported an eviction", name)
+		}
+		// Hits report no eviction.
+		if _, ok := e.ObserveEvict(1); ok {
+			t.Errorf("%s: on-table hit reported an eviction", name)
+		}
+		// A new key on a full table displaces the minimum entry (key 2).
+		evicted, ok := e.ObserveEvict(3)
+		if !ok || evicted != 2 {
+			t.Errorf("%s: ObserveEvict(3) = (%d, %v), want (2, true)", name, evicted, ok)
+		}
+		if e.Contains(2) || !e.Contains(3) {
+			t.Errorf("%s: table should hold 3 and not 2 after replacement", name)
+		}
+	}
+}
+
 func TestSpaceSavingStructuralInvariants(t *testing.T) {
 	s := NewSpaceSaving(6)
 	r := NewRand(2024)

@@ -125,10 +125,17 @@ func (s *SpaceSaving) attachEntry(slot int, b *ssBucket) {
 }
 
 // Observe implements the CbS update rule in O(1).
-func (s *SpaceSaving) Observe(key uint32) {
-	if slot, ok := s.index[key]; ok {
+func (s *SpaceSaving) Observe(key uint32) { s.ObserveEvict(key) }
+
+// ObserveEvict is Observe plus eviction reporting: when recording key
+// displaces the minimum entry (the CbS replacement rule), the displaced key
+// is returned with ok = true. Trackers that keep per-row side state keyed
+// to table residency (Graphene's trigger levels) use it to drop the
+// departing row's state.
+func (s *SpaceSaving) ObserveEvict(key uint32) (evicted uint32, ok bool) {
+	if slot, hit := s.index[key]; hit {
 		s.promote(slot, 1)
-		return
+		return 0, false
 	}
 	if len(s.free) > 0 {
 		slot := s.free[len(s.free)-1]
@@ -141,7 +148,7 @@ func (s *SpaceSaving) Observe(key uint32) {
 			pred = s.minB
 		}
 		s.attachEntry(slot, s.bucketFor(1, pred))
-		return
+		return 0, false
 	}
 	// Replace an entry from the minimum bucket.
 	slot := s.minB.head
@@ -150,6 +157,7 @@ func (s *SpaceSaving) Observe(key uint32) {
 	s.entries[slot].key = key
 	s.index[key] = slot
 	s.promote(slot, 1)
+	return old, true
 }
 
 // promote moves the entry at slot up by delta counts.

@@ -30,12 +30,16 @@ func RowSeries(gen Generator, mapper *mc.AddressMapper, n int) []RowSample {
 // ActivationSeries filters RowSeries down to the accesses that would
 // activate a row under an open-page policy with per-bank open-row state —
 // the Figure 8(c) view. Conflicting accesses from other banks are retained
-// per bank.
-func ActivationSeries(samples []RowSample) []RowSample {
-	open := map[int]int{} // bank -> open row
+// per bank. totalBanks sizes the dense open-row state (use
+// Params.TotalBanks() of the mapper that produced the samples).
+func ActivationSeries(samples []RowSample, totalBanks int) []RowSample {
+	open := make([]int, totalBanks) // per global bank: open row
+	for i := range open {
+		open[i] = -1
+	}
 	acts := make([]RowSample, 0, len(samples)/4+1)
 	for _, s := range samples {
-		if row, ok := open[s.Bank]; !ok || row != s.Row {
+		if open[s.Bank] != s.Row {
 			open[s.Bank] = s.Row
 			acts = append(acts, s)
 		}

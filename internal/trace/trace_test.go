@@ -124,7 +124,7 @@ func TestRowSeriesAndActivationSeries(t *testing.T) {
 	if len(samples) != 2000 {
 		t.Fatalf("samples = %d", len(samples))
 	}
-	acts := ActivationSeries(samples)
+	acts := ActivationSeries(samples, p.TotalBanks())
 	if len(acts) == 0 || len(acts) >= len(samples)/4 {
 		t.Fatalf("activations = %d of %d accesses; streaming should be row-local", len(acts), len(samples))
 	}
