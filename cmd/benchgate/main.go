@@ -1,0 +1,188 @@
+// Command benchgate compares a `go test -bench` run against the latest
+// recorded point in a benchmark-history file (BENCH_sweep_hotpath.json)
+// and fails when any benchmark regressed beyond the tolerance. CI runs it
+// after the bench job so a hot-path regression fails the push instead of
+// silently accumulating.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -benchtime=3x . | tee bench.txt
+//	go run ./cmd/benchgate -input bench.txt -history BENCH_sweep_hotpath.json -tolerance 0.30
+//
+// Benchmarks present in only one of the two inputs are reported and
+// skipped; the gate fails if nothing matches at all (a rename or a broken
+// bench filter would otherwise pass vacuously).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchPoint is one benchmark's recorded metrics in the history file.
+type benchPoint struct {
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  float64 `json:"bytes_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+// history mirrors the BENCH_*.json layout (only the fields the gate needs).
+type history struct {
+	Series string `json:"series"`
+	Points []struct {
+		Date       string                `json:"date"`
+		Label      string                `json:"label"`
+		Benchmarks map[string]benchPoint `json:"benchmarks"`
+	} `json:"points"`
+}
+
+// parseBench extracts benchmark-name → ns/op from `go test -bench` output.
+// The -N GOMAXPROCS suffix is stripped so names match the history file.
+// With `-count` > 1 a benchmark appears once per run; the MINIMUM ns/op is
+// kept — the best run is the least scheduler-noise-contaminated estimate
+// of the code's cost, so the gate doesn't trip on a single noisy run.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// Benchmark lines: name, iteration count, value/unit pairs.
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op on line %q: %v", sc.Text(), err)
+				}
+				if prev, seen := out[name]; !seen || v < prev {
+					out[name] = v
+				}
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+// gate compares current ns/op against the baseline within tolerance
+// (fractional, e.g. 0.30 allows +30%) and returns the failing benchmarks.
+func gate(w io.Writer, baseline, current map[string]float64, tolerance float64) (failed []string, matched int) {
+	for name, base := range baseline {
+		cur, ok := current[name]
+		if !ok {
+			fmt.Fprintf(w, "skip %-32s (in history, not in this run)\n", name)
+			continue
+		}
+		matched++
+		delta := 100 * (cur - base) / base
+		verdict := "ok"
+		if cur > base*(1+tolerance) {
+			verdict = "REGRESSION"
+			failed = append(failed, name)
+		}
+		fmt.Fprintf(w, "%-36s baseline %14.0f ns/op  current %14.0f ns/op  %+7.1f%%  %s\n",
+			name, base, cur, delta, verdict)
+	}
+	for name := range current {
+		if _, ok := baseline[name]; !ok {
+			fmt.Fprintf(w, "skip %-32s (in this run, not in history)\n", name)
+		}
+	}
+	return failed, matched
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable body: parses args, loads inputs, applies the gate.
+func run(args []string, stdout, stderr io.Writer) int {
+	var (
+		inputPath   = "-"
+		historyPath = "BENCH_sweep_hotpath.json"
+		tolerance   = 0.30
+	)
+	usage := func() int {
+		fmt.Fprintf(stderr, "usage: benchgate [-input bench.txt] [-history BENCH.json] [-tolerance 0.30]\n")
+		return 2
+	}
+	for i := 0; i < len(args); i++ {
+		opt := args[i]
+		if i+1 >= len(args) {
+			return usage() // every option takes a value
+		}
+		i++
+		switch opt {
+		case "-input":
+			inputPath = args[i]
+		case "-history":
+			historyPath = args[i]
+		case "-tolerance":
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil || v <= 0 {
+				fmt.Fprintf(stderr, "benchgate: bad -tolerance %q\n", args[i])
+				return 2
+			}
+			tolerance = v
+		default:
+			return usage()
+		}
+	}
+	var in io.Reader = os.Stdin
+	if inputPath != "-" {
+		f, err := os.Open(inputPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	current, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	data, err := os.ReadFile(historyPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	var h history
+	if err := json.Unmarshal(data, &h); err != nil {
+		fmt.Fprintf(stderr, "benchgate: %s: %v\n", historyPath, err)
+		return 2
+	}
+	if len(h.Points) == 0 {
+		fmt.Fprintf(stderr, "benchgate: %s has no points\n", historyPath)
+		return 2
+	}
+	latest := h.Points[len(h.Points)-1]
+	baseline := map[string]float64{}
+	for name, p := range latest.Benchmarks {
+		baseline[name] = p.NsOp
+	}
+	fmt.Fprintf(stdout, "benchgate: against %s point %q (%s), tolerance +%.0f%%\n",
+		h.Series, latest.Label, latest.Date, tolerance*100)
+	failed, matched := gate(stdout, baseline, current, tolerance)
+	if matched == 0 {
+		fmt.Fprintf(stderr, "benchgate: no benchmarks matched the history file\n")
+		return 2
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(stderr, "benchgate: regression in %v\n", failed)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchgate: %d benchmark(s) within tolerance\n", matched)
+	return 0
+}

@@ -1,27 +1,38 @@
 // Command mithrilsim regenerates every table and figure of the Mithril
-// paper's evaluation (HPCA 2022) from the reproduction library.
+// paper's evaluation (HPCA 2022) from the reproduction library, and runs
+// arbitrary declarative experiment specs.
 //
 // Usage:
 //
-//	mithrilsim <command> [-full] [-flipth N] [-jobs N]
+//	mithrilsim <command> [args] [-full] [-flipth N] [-jobs N] [-format F]
 //
 // Simulation sweeps fan out over -jobs workers (default: all cores);
 // -jobs 1 forces the serial path. Parallel and serial runs print
-// byte-identical output.
+// byte-identical output. Simulation commands accept -format
+// table|json|csv|golden (table is the human default; json/csv are
+// machine-readable rows; golden is the raw full-precision line format the
+// testdata/golden_*.txt regression files are pinned in).
 //
 // Commands:
 //
 //	figure2   ARR-Graphene vs RFM-Graphene incompatibility curves
 //	figure6   feasible (Nentry, RFMTH) configurations per FlipTH
-//	figure7   adaptive-refresh energy/area sweep over AdTH
 //	figure8   lbm-like large-object-sweep characterization
+//	table4    per-bank counter table sizes vs the paper's Table IV
+//	parfm     Appendix C failure probabilities and required RFMTH
+//	figure7   adaptive-refresh energy/area sweep over AdTH
 //	figure9   Mithril vs Mithril+ performance/area grid
 //	figure10  RFM-compatible scheme comparison (perf/energy/area)
 //	figure11  RFM-non-compatible baseline comparison
-//	table4    per-bank counter table sizes vs the paper's Table IV
 //	safety    attack sweep: bit-flip verdicts per scheme
-//	parfm     Appendix C failure probabilities and required RFMTH
 //	all       everything above
+//	run       execute an experiment spec: run <spec.json | shipped-name>
+//	list      list the shipped experiment specs
+//	diff      run a spec and diff its golden-format output against a file:
+//	          diff <spec.json | shipped-name> <golden.txt>
+//
+// The figure7/9/10/11 and safety commands are themselves spec-backed: they
+// run the shipped specs/*.json grids (quick or, with -full, full variants).
 package main
 
 import (
@@ -29,83 +40,278 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"sort"
 	"strconv"
+	"strings"
 
 	"mithril"
+	"mithril/internal/expspec"
 	"mithril/internal/stats"
 )
+
+// env carries the parsed global flags into command handlers.
+type env struct {
+	full   bool
+	flipTH int
+	jobs   int
+	format string
+}
+
+// scale resolves the -full flag into the experiment scale.
+func (e env) scale() mithril.Scale {
+	sc := mithril.QuickScale()
+	if e.full {
+		sc = mithril.FullScale()
+	}
+	sc.Jobs = e.jobs
+	return sc
+}
+
+// command is one CLI subcommand. Dispatch, the usage line, and the `all`
+// sequence all derive from this single ordered table, so a new subcommand
+// cannot appear in one and silently drop out of another.
+type command struct {
+	name  string
+	args  string // positional-argument usage, e.g. "<spec.json>"
+	nargs int    // required positional count
+	inAll bool   // part of the `all` sequence
+	run   func(e env, args []string) error
+}
+
+// commands is ordered as `all` executes: analytic figures first, then the
+// simulation sweeps (cheapest to most expensive), then the spec tooling
+// (excluded from `all`: run/diff need arguments).
+var commands = []command{
+	{name: "figure2", inAll: true, run: func(e env, _ []string) error { return figure2() }},
+	{name: "figure6", inAll: true, run: func(e env, _ []string) error { return figure6() }},
+	{name: "figure8", inAll: true, run: func(e env, _ []string) error { return figure8() }},
+	{name: "table4", inAll: true, run: func(e env, _ []string) error { return table4() }},
+	{name: "parfm", inAll: true, run: func(e env, _ []string) error { return parfm() }},
+	{name: "figure7", inAll: true, run: specFigure("figure7")},
+	{name: "figure9", inAll: true, run: specFigure("figure9")},
+	{name: "figure10", inAll: true, run: specFigure("figure10")},
+	{name: "figure11", inAll: true, run: specFigure("figure11")},
+	{name: "safety", inAll: true, run: safetyCmd},
+	{name: "run", args: "<spec.json>", nargs: 1, run: runCmd},
+	{name: "list", run: listCmd},
+	{name: "diff", args: "<spec.json> <golden.txt>", nargs: 2, run: diffCmd},
+}
+
+func usage() {
+	var names []string
+	for _, c := range commands {
+		names = append(names, c.name)
+	}
+	// `all` sits between the figure commands and the spec tooling.
+	fmt.Fprintf(os.Stderr, "usage: mithrilsim <%s|all> [args] [flags]\n", strings.Join(names, "|"))
+	for _, c := range commands {
+		if c.args != "" {
+			fmt.Fprintf(os.Stderr, "       mithrilsim %s %s\n", c.name, c.args)
+		}
+	}
+	flag.PrintDefaults()
+}
 
 func main() {
 	full := flag.Bool("full", false, "run at the paper's full scale (16 cores, all FlipTH levels)")
 	flipTH := flag.Int("flipth", 2000, "FlipTH for the safety sweep")
 	jobs := flag.Int("jobs", 0, "sweep worker count (0 = all cores, 1 = serial)")
-	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mithrilsim <figure2|figure6|figure7|figure8|figure9|figure10|figure11|table4|safety|parfm|all> [-full] [-jobs N]")
-		flag.PrintDefaults()
-	}
+	format := flag.String("format", expspec.FormatTable, "output format: table, json, csv, or golden")
+	flag.Usage = usage
 	if len(os.Args) < 2 {
 		flag.Usage()
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
-	if err := flag.CommandLine.Parse(os.Args[2:]); err != nil {
-		// Defensive: flag.ExitOnError exits on malformed flags itself;
-		// this path covers any other error handling mode.
-		fmt.Fprintf(os.Stderr, "mithrilsim: %v\n", err)
-		flag.Usage()
-		os.Exit(2)
+	// Parse flags and positionals in any order: flag.Parse stops at the
+	// first positional, so peel positionals off and keep parsing.
+	rest := os.Args[2:]
+	var pos []string
+	for {
+		if err := flag.CommandLine.Parse(rest); err != nil {
+			// Defensive: flag.ExitOnError exits on malformed flags itself;
+			// this path covers any other error handling mode.
+			fmt.Fprintf(os.Stderr, "mithrilsim: %v\n", err)
+			flag.Usage()
+			os.Exit(2)
+		}
+		rest = flag.CommandLine.Args()
+		if len(rest) == 0 {
+			break
+		}
+		pos = append(pos, rest[0])
+		rest = rest[1:]
 	}
-	if args := flag.CommandLine.Args(); len(args) > 0 {
-		// Parse stops at the first positional argument, silently ignoring
-		// the rest — a misspelled flag like "jobs 4" would otherwise be
-		// swallowed whole.
-		fmt.Fprintf(os.Stderr, "mithrilsim: unexpected arguments: %v\n", args)
-		flag.Usage()
-		os.Exit(2)
-	}
+	e := env{full: *full, flipTH: *flipTH, jobs: *jobs, format: *format}
 
-	sc := mithril.QuickScale()
-	if *full {
-		sc = mithril.FullScale()
-	}
-	sc.Jobs = *jobs
-
-	run := map[string]func() error{
-		"figure2":  figure2,
-		"figure6":  figure6,
-		"figure7":  func() error { return figure7(sc) },
-		"figure8":  figure8,
-		"figure9":  func() error { return figure9(sc) },
-		"figure10": func() error { return figure10(sc) },
-		"figure11": func() error { return figure11(sc) },
-		"table4":   table4,
-		"safety":   func() error { return safety(sc, *flipTH) },
-		"parfm":    parfm,
-	}
 	if cmd == "all" {
-		for _, name := range []string{"figure2", "figure6", "figure8", "table4", "parfm", "figure7", "figure9", "figure10", "figure11", "safety"} {
-			if err := run[name](); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		if len(pos) > 0 {
+			fmt.Fprintf(os.Stderr, "mithrilsim: unexpected arguments: %v\n", pos)
+			flag.Usage()
+			os.Exit(2)
+		}
+		for _, c := range commands {
+			if !c.inAll {
+				continue
+			}
+			if err := c.run(e, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", c.name, err)
 				os.Exit(1)
 			}
 		}
 		return
 	}
-	fn, ok := run[cmd]
-	if !ok {
-		flag.Usage()
-		os.Exit(2)
+	for _, c := range commands {
+		if c.name != cmd {
+			continue
+		}
+		if len(pos) != c.nargs {
+			fmt.Fprintf(os.Stderr, "mithrilsim %s: want %d argument(s) %s, got %v\n", c.name, c.nargs, c.args, pos)
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err := c.run(e, pos); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", c.name, err)
+			os.Exit(1)
+		}
+		return
 	}
-	if err := fn(); err != nil {
-		fmt.Fprintf(os.Stderr, "%s: %v\n", cmd, err)
-		os.Exit(1)
-	}
+	flag.Usage()
+	os.Exit(2)
 }
 
 func header(title string) {
 	fmt.Printf("\n=== %s ===\n\n", title)
 }
+
+// emit prints a spec result in the requested format; the table format gets
+// the figure's title banner, machine formats are bare.
+func emit(e env, res *expspec.Result) error {
+	if e.format == expspec.FormatTable {
+		header(res.Spec.Title)
+	}
+	return res.Emit(os.Stdout, e.format)
+}
+
+// shippedSpec loads a spec by path, falling back to the shipped specs by
+// name ("figure10.quick" or "figure10.quick.json") when no such file
+// exists.
+func shippedSpec(arg string) (*expspec.Spec, error) {
+	if _, err := os.Stat(arg); err == nil {
+		return expspec.Load(arg)
+	}
+	name := strings.TrimSuffix(arg, ".json")
+	sp, err := expspec.LoadFS(mithril.SpecsFS(), "specs/"+name+".json")
+	if err != nil {
+		return nil, fmt.Errorf("no spec file %q and no shipped spec %q (see `mithrilsim list`)", arg, name)
+	}
+	return sp, nil
+}
+
+// specFigure backs a figure command with its shipped quick/full spec.
+func specFigure(base string) func(e env, _ []string) error {
+	return func(e env, _ []string) error {
+		variant := "quick"
+		if e.full {
+			variant = "full"
+		}
+		sp, err := expspec.LoadFS(mithril.SpecsFS(), "specs/"+base+"."+variant+".json")
+		if err != nil {
+			return err
+		}
+		res, err := sp.RunAt(e.scale())
+		if err != nil {
+			return err
+		}
+		return emit(e, res)
+	}
+}
+
+// safetyCmd runs the shipped safety spec with the -flipth override.
+func safetyCmd(e env, _ []string) error {
+	variant := "quick"
+	if e.full {
+		variant = "full"
+	}
+	sp, err := expspec.LoadFS(mithril.SpecsFS(), "specs/safety."+variant+".json")
+	if err != nil {
+		return err
+	}
+	sp.Axes.FlipTHs = []int{e.flipTH}
+	sp.Title = fmt.Sprintf("Safety sweep — full-simulator attacks at FlipTH=%d", e.flipTH)
+	res, err := sp.RunAt(e.scale())
+	if err != nil {
+		return err
+	}
+	return emit(e, res)
+}
+
+// runCmd executes an arbitrary experiment spec at the spec's own scale.
+func runCmd(e env, args []string) error {
+	sp, err := shippedSpec(args[0])
+	if err != nil {
+		return err
+	}
+	sc, err := sp.Scale.Resolve()
+	if err != nil {
+		return err
+	}
+	sc.Jobs = e.jobs
+	res, err := sp.RunAt(sc)
+	if err != nil {
+		return err
+	}
+	return emit(e, res)
+}
+
+// listCmd prints the shipped spec inventory.
+func listCmd(e env, _ []string) error {
+	specs, err := expspec.LoadAll(mithril.SpecsFS(), "specs")
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("name", "kind", "scale", "rows", "title")
+	for _, sp := range specs {
+		sc, err := sp.Scale.Resolve()
+		if err != nil {
+			return err
+		}
+		t.Add(sp.Name, string(sp.Kind), sp.Scale.Preset,
+			strconv.Itoa(len(sp.Expand(sc))), sp.Title)
+	}
+	fmt.Print(t)
+	return nil
+}
+
+// diffCmd runs a spec and compares its golden-format output against a
+// pinned file (the CI golden-figures gate); any divergence is printed
+// line-by-line and fails the command.
+func diffCmd(e env, args []string) error {
+	sp, err := shippedSpec(args[0])
+	if err != nil {
+		return err
+	}
+	want, err := os.ReadFile(args[1])
+	if err != nil {
+		return err
+	}
+	sc, err := sp.Scale.Resolve()
+	if err != nil {
+		return err
+	}
+	sc.Jobs = e.jobs
+	res, err := sp.RunAt(sc)
+	if err != nil {
+		return err
+	}
+	got := res.Golden()
+	if got == string(want) {
+		fmt.Printf("%s: %d rows match %s\n", sp.Name, strings.Count(got, "\n"), args[1])
+		return nil
+	}
+	return fmt.Errorf("%s diverges from %s:\n%s", sp.Name, args[1], stats.DiffLines(string(want), got))
+}
+
+// ------------------------------------------------------- analytic commands
 
 func figure2() error {
 	header("Figure 2 — safe FlipTH: ARR-Graphene vs RFM-Graphene")
@@ -144,23 +350,6 @@ func figure6() error {
 	return nil
 }
 
-func figure7(sc mithril.Scale) error {
-	header("Figure 7 — adaptive refresh: energy overhead and extra Nentry vs AdTH")
-	pts, err := mithril.Figure7Data(sc)
-	if err != nil {
-		return err
-	}
-	t := stats.NewTable("FlipTH", "RFMTH", "AdTH", "energy% (multi-prog)", "energy% (multi-thread)", "+Nentry%")
-	for _, p := range pts {
-		t.Add(strconv.Itoa(p.FlipTH), strconv.Itoa(p.RFMTH), strconv.Itoa(p.AdTH),
-			fmt.Sprintf("%.2f", p.EnergyOverheadPct["multi-programmed"]),
-			fmt.Sprintf("%.2f", p.EnergyOverheadPct["multi-threaded"]),
-			fmt.Sprintf("%.1f", p.AdditionalNEntryPct))
-	}
-	fmt.Print(t)
-	return nil
-}
-
 func figure8() error {
 	header("Figure 8 — large-object sweep (lbm-like) characterization")
 	d := mithril.Figure8()
@@ -175,54 +364,6 @@ func figure8() error {
 			fmt.Printf("  %5d -> row %d (bank %d)\n", s.Index, s.Row, s.Bank)
 		}
 	}
-	return nil
-}
-
-func figure9(sc mithril.Scale) error {
-	header("Figure 9 — Mithril vs Mithril+ relative performance and area")
-	pts, err := mithril.Figure9Data(sc)
-	if err != nil {
-		return err
-	}
-	t := stats.NewTable("FlipTH", "RFMTH", "Mithril perf%", "Mithril+ perf%", "table KB")
-	for _, p := range pts {
-		t.Add(strconv.Itoa(p.FlipTH), strconv.Itoa(p.RFMTH),
-			fmt.Sprintf("%.2f", p.Mithril), fmt.Sprintf("%.2f", p.MithrilPlus),
-			fmt.Sprintf("%.2f", p.TableKB))
-	}
-	fmt.Print(t)
-	return nil
-}
-
-func perfTable(points []mithril.PerfPoint) string {
-	t := stats.NewTable("scheme", "FlipTH", "workload", "perf%", "energy+%", "tableKB", "safe")
-	for _, p := range points {
-		t.Add(p.Scheme, strconv.Itoa(p.FlipTH), p.Workload,
-			fmt.Sprintf("%.2f", p.RelativePerformance),
-			fmt.Sprintf("%.2f", p.EnergyOverheadPct),
-			fmt.Sprintf("%.2f", p.TableKB),
-			fmt.Sprintf("%v", p.Safe))
-	}
-	return t.String()
-}
-
-func figure10(sc mithril.Scale) error {
-	header("Figure 10 — RFM-compatible schemes: PARFM, BlockHammer, Mithril, Mithril+")
-	pts, err := mithril.Figure10Data(sc)
-	if err != nil {
-		return err
-	}
-	fmt.Print(perfTable(pts))
-	return nil
-}
-
-func figure11(sc mithril.Scale) error {
-	header("Figure 11 — vs RFM-non-compatible PARA, CBT, TWiCe, Graphene")
-	pts, err := mithril.Figure11Data(sc)
-	if err != nil {
-		return err
-	}
-	fmt.Print(perfTable(pts))
 	return nil
 }
 
@@ -252,31 +393,6 @@ func table4() error {
 			ref = append(ref, cell(paper[i].KB[f]))
 		}
 		t.Add(ref...)
-	}
-	fmt.Print(t)
-	return nil
-}
-
-func safety(sc mithril.Scale, flipTH int) error {
-	header(fmt.Sprintf("Safety sweep — full-simulator attacks at FlipTH=%d", flipTH))
-	results, err := mithril.SafetySweep(sc, flipTH)
-	if err != nil {
-		return err
-	}
-	sort.Slice(results, func(i, j int) bool {
-		if results[i].Attack != results[j].Attack {
-			return results[i].Attack < results[j].Attack
-		}
-		return results[i].Scheme < results[j].Scheme
-	})
-	t := stats.NewTable("attack", "scheme", "flips", "max disturbance", "verdict")
-	for _, r := range results {
-		verdict := "SAFE"
-		if !r.Safe {
-			verdict = "UNSAFE"
-		}
-		t.Add(r.Attack, r.Scheme, strconv.Itoa(r.Flips),
-			fmt.Sprintf("%.0f", r.MaxDisturbance), verdict)
 	}
 	fmt.Print(t)
 	return nil

@@ -15,6 +15,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"mithril/internal/stats"
 )
 
 var update = flag.Bool("update", false, "rewrite golden testdata files")
@@ -45,31 +47,8 @@ func checkGolden(t *testing.T, name, got string) {
 		t.Fatalf("missing golden %s (run with -update): %v", path, err)
 	}
 	if string(want) != got {
-		t.Errorf("%s diverges from golden; diff:\n%s", name, diffLines(string(want), got))
+		t.Errorf("%s diverges from golden; diff:\n%s", name, stats.DiffLines(string(want), got))
 	}
-}
-
-func diffLines(want, got string) string {
-	w := strings.Split(want, "\n")
-	g := strings.Split(got, "\n")
-	var b strings.Builder
-	n := len(w)
-	if len(g) > n {
-		n = len(g)
-	}
-	for i := 0; i < n; i++ {
-		var wl, gl string
-		if i < len(w) {
-			wl = w[i]
-		}
-		if i < len(g) {
-			gl = g[i]
-		}
-		if wl != gl {
-			fmt.Fprintf(&b, "line %d:\n  want: %s\n  got:  %s\n", i+1, wl, gl)
-		}
-	}
-	return b.String()
 }
 
 // formatPerfPoints renders every field of every point with the full float64

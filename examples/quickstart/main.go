@@ -1,14 +1,34 @@
-// Quickstart: configure Mithril for a target RowHammer threshold, run a
-// benign multi-programmed workload with and without protection, and print
-// the normalized performance/energy cost plus the safety verdict.
+// Quickstart: size a Mithril counter table with Theorem 1, then run a
+// declarative experiment spec — the same JSON format the shipped
+// specs/*.json figures use — comparing Mithril against PARFM on a benign
+// workload, and print the human table plus machine-readable CSV rows.
+//
+// New scenarios are new spec files, not new code: edit the axes below (or
+// point `mithrilsim run` at a .json file) to change the scheme subset,
+// FlipTH grid, workloads, or seeds.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"mithril"
 )
+
+// spec is a small comparison grid: two schemes × two FlipTH levels on the
+// mix-high workload, at a reduced quick scale so it runs in seconds.
+const spec = `{
+  "name": "quickstart",
+  "title": "Quickstart — Mithril vs PARFM on mix-high",
+  "kind": "comparison",
+  "scale": {"preset": "quick", "cores": 4, "instr_per_core": 4000},
+  "axes": {
+    "schemes": ["parfm", "mithril"],
+    "flipths": [6250, 1500],
+    "workloads": ["mix-high"]
+  }
+}`
 
 func main() {
 	p := mithril.DDR5()
@@ -23,29 +43,24 @@ func main() {
 	fmt.Printf("Theorem 1 bound M = %.0f (< FlipTH/2 = %d)\n\n",
 		mithril.BoundM(p, cfg.NEntry, cfg.RFMTH), flipTH/2)
 
-	scheme, err := mithril.NewScheme("mithril", mithril.SchemeOptions{
-		Timing: p, FlipTH: flipTH, RFMTH: 128,
-	})
+	// Parse + validate the spec (unknown schemes, workloads, or axes fail
+	// here, before any simulation runs), then execute its grid.
+	sp, err := mithril.ParseSpec([]byte(spec))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sp.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	simCfg := mithril.SimConfig{
-		Params:       p,
-		FlipTH:       flipTH,
-		Scheduler:    mithril.BLISS,
-		Policy:       mithril.MinimalistOpen,
-		InstrPerCore: 20_000,
-	}
-	cmp, err := mithril.Compare(simCfg, mithril.MixHigh(8, 1), scheme)
-	if err != nil {
+	fmt.Printf("%s\n\n", sp.Title)
+	if err := res.Emit(os.Stdout, mithril.FormatTable); err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("workload: mix-high (8 cores)\n")
-	fmt.Printf("relative performance: %.2f%% of unprotected\n", cmp.RelativePerformance)
-	fmt.Printf("dynamic energy overhead: %+.2f%%\n", cmp.EnergyOverheadPercent)
-	fmt.Printf("RFMs issued: %d (skipped by adaptive policy inside DRAM where quiet)\n",
-		cmp.Protected.MC.RFMIssued)
-	fmt.Printf("safety: %v\n", cmp.Protected.Safety)
+	fmt.Println("\nmachine-readable (CSV; mithril.FormatJSON for a document):")
+	if err := res.Emit(os.Stdout, mithril.FormatCSV); err != nil {
+		log.Fatal(err)
+	}
 }

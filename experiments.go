@@ -1,91 +1,41 @@
 package mithril
 
 import (
+	"embed"
 	"fmt"
+	"io/fs"
 
 	"mithril/internal/analysis"
-	"mithril/internal/attack"
-	"mithril/internal/energy"
+	"mithril/internal/expspec"
 	"mithril/internal/mc"
-	"mithril/internal/mitigation"
 	"mithril/internal/sim"
-	"mithril/internal/stats"
-	"mithril/internal/sweep"
 	"mithril/internal/timing"
 	"mithril/internal/trace"
 )
 
-// Scale sizes the simulation experiments. The paper runs 400M instructions
-// over 16 cores on McSimA+; the simulator is cycle-approximate and the
-// rate-based metrics (RFM frequency, refresh overheads) converge at far
-// smaller budgets, so Quick is the default for tests/benches and Full for
-// the CLI.
-type Scale struct {
-	Cores        int
-	InstrPerCore int64
-	FlipTHs      []int
-	Seed         uint64
-	// TimeScale compresses the refresh window (tREFW/TimeScale with
-	// proportionally fewer refresh groups, same refresh duty cycle) so
-	// window-relative mechanisms — BlockHammer blacklists, CBF epochs,
-	// PARFM sampling windows — engage within simulable horizons. All
-	// schemes are configured from the same scaled parameters, so relative
-	// comparisons are preserved (DESIGN.md §4).
-	TimeScale int
-	// Jobs bounds the sweep engine's worker pool: each (scheme, FlipTH,
-	// workload) cell is an independent simulation, so sweeps fan out over
-	// Jobs workers. 0 (or negative) means one worker per core; 1 forces
-	// the serial path. Parallel and serial sweeps return identical
-	// results in identical order.
-	Jobs int
-}
+// specsFS embeds the shipped experiment specs: the declarative grids the
+// simulation figures (7, 9, 10, 11) and the safety sweep run as, one file
+// per figure in quick/full (and CI golden) variants.
+//
+//go:embed specs/*.json
+var specsFS embed.FS
 
-// Params returns the (possibly time-scaled) DDR5 parameters for this scale.
-func (sc Scale) Params() TimingParams {
-	p := timing.DDR5()
-	f := sc.TimeScale
-	if f <= 1 {
-		return p
-	}
-	p.TREFW /= PicoSeconds(f)
-	p.RefreshGroups /= f
-	return p
-}
+// SpecsFS returns the shipped experiment spec files (specs/*.json). The
+// mithrilsim CLI lists and runs them by name; library users can parse them
+// with internal/expspec via the figure wrappers below.
+func SpecsFS() fs.FS { return specsFS }
 
-// attackCores sizes attack workloads: the paper's 15+1 arrangement at full
-// scale, a 3+1 arrangement otherwise (attack effects are per-bank, not
-// per-core, so fewer benign cores change little but cost linearly less).
-func (sc Scale) attackCores() int {
-	if sc.Cores >= 16 {
-		return sc.Cores
-	}
-	if sc.Cores > 4 {
-		return 4
-	}
-	return sc.Cores
-}
-
-// multiSidedVictims picks the attack width (32 at full scale, 8 quick).
-func (sc Scale) multiSidedVictims() int {
-	if sc.Cores >= 16 {
-		return 32
-	}
-	return 8
-}
-
-// attackInstrFactor extends attack runs so threshold mechanisms (NBL,
-// FlipTH accumulation) have time to engage.
-const attackInstrFactor = 64
+// Scale sizes the simulation experiments; see expspec.Scale. The paper
+// runs 400M instructions over 16 cores on McSimA+; the simulator is
+// cycle-approximate and the rate-based metrics converge at far smaller
+// budgets, so Quick is the default for tests/benches and Full for the CLI.
+type Scale = expspec.Scale
 
 // QuickScale is the fast experiment configuration.
-func QuickScale() Scale {
-	return Scale{Cores: 8, InstrPerCore: 20_000, FlipTHs: []int{50000, 6250, 1500}, Seed: 1, TimeScale: 8}
-}
+func QuickScale() Scale { return expspec.QuickScale() }
 
 // FullScale matches the paper's system size (16 cores, all FlipTH levels).
-func FullScale() Scale {
-	return Scale{Cores: 16, InstrPerCore: 100_000, FlipTHs: analysis.StandardFlipTHs, Seed: 1, TimeScale: 8}
-}
+func FullScale() Scale { return expspec.FullScale() }
 
 // StandardFlipTHs re-exports the evaluation's FlipTH sweep.
 func StandardFlipTHs() []int { return append([]int(nil), analysis.StandardFlipTHs...) }
@@ -93,13 +43,22 @@ func StandardFlipTHs() []int { return append([]int(nil), analysis.StandardFlipTH
 // baseSimConfig builds the Table III system configuration at the scale's
 // (possibly time-compressed) timing.
 func baseSimConfig(flipTH int, sc Scale) SimConfig {
-	return SimConfig{
-		Params:       sc.Params(),
-		FlipTH:       flipTH,
-		Scheduler:    BLISS,
-		Policy:       MinimalistOpen,
-		InstrPerCore: sc.InstrPerCore,
+	return expspec.BaseSimConfig(flipTH, sc)
+}
+
+// benignIPC sums per-core IPCs excluding trailing attacker cores.
+func benignIPC(res sim.Result, attackers int) float64 {
+	return expspec.BenignIPC(res, attackers)
+}
+
+// runSpec executes the named shipped spec's axes at the caller's scale
+// (the spec's own scale section only applies when run via the CLI).
+func runSpec(name string, sc Scale) (*expspec.Result, error) {
+	sp, err := LoadShippedSpec(name)
+	if err != nil {
+		return nil, fmt.Errorf("shipped spec %s: %w", name, err)
 	}
+	return sp.RunAt(sc)
 }
 
 // ---------------------------------------------------------------- Figure 2
@@ -143,96 +102,16 @@ func Figure6Data() []Figure6Series {
 // ---------------------------------------------------------------- Figure 7
 
 // Figure7Point is one AdTH level of Figure 7.
-type Figure7Point struct {
-	FlipTH, RFMTH, AdTH int
-	// EnergyOverheadPct per workload class (multi-programmed/threaded).
-	EnergyOverheadPct map[string]float64
-	// AdditionalNEntryPct is the Theorem 2 table growth (right axis).
-	AdditionalNEntryPct float64
-}
+type Figure7Point = expspec.Figure7Point
 
 // Figure7Data sweeps AdTH for the paper's two configurations on one
-// multi-programmed and one multi-threaded workload.
+// multi-programmed and one multi-threaded workload (specs/figure7.*.json).
 func Figure7Data(sc Scale) ([]Figure7Point, error) {
-	p := sc.Params()
-	configs := []struct{ flipTH, rfmTH int }{{3125, 16}, {6250, 64}}
-	adths := []int{0, 50, 100, 150, 200}
-	workloads := []struct {
-		name string
-		w    Workload
-	}{
-		{"multi-programmed", trace.MixHigh(sc.Cores, sc.Seed)},
-		{"multi-threaded", trace.FFT(sc.Cores, sc.Seed)},
-	}
-	// One baseline per workload (scheme-independent), single-flight so
-	// concurrent cells share one unprotected run.
-	var baselines sweep.Cache[string, sim.Result]
-	baseline := func(name string, w Workload) (sim.Result, error) {
-		return baselines.Get(name, func() (sim.Result, error) {
-			cfg := baseSimConfig(configs[0].flipTH, sc)
-			cfg.Workload = w.Fresh()
-			return sim.Run(cfg)
-		})
-	}
-	// Fan each (config, AdTH, workload) cell out to the worker pool; the
-	// energy overheads come back in enumeration order.
-	type f7cell struct{ cfgIdx, adTH, wIdx int }
-	var cells []f7cell
-	for ci := range configs {
-		for _, ad := range adths {
-			for wi := range workloads {
-				cells = append(cells, f7cell{ci, ad, wi})
-			}
-		}
-	}
-	energies, err := sweep.Run(sc.Jobs, len(cells), func(i int) (float64, error) {
-		c := cells[i]
-		conf := configs[c.cfgIdx]
-		wl := workloads[c.wIdx]
-		base, err := baseline(wl.name, wl.w)
-		if err != nil {
-			return 0, err
-		}
-		scheme := mitigation.NewMithril(mitigation.Options{
-			Timing: p, FlipTH: conf.flipTH, RFMTH: conf.rfmTH, AdTH: adOrDisabled(c.adTH), Seed: sc.Seed,
-		})
-		cfg := baseSimConfig(conf.flipTH, sc)
-		cfg.Scheme = scheme
-		cfg.Workload = wl.w.Fresh()
-		res, err := sim.Run(cfg)
-		if err != nil {
-			return 0, err
-		}
-		return energy.OverheadPercent(res.Energy, base.Energy), nil
-	})
+	res, err := runSpec("figure7.quick", sc)
 	if err != nil {
 		return nil, err
 	}
-	var out []Figure7Point
-	idx := 0
-	for _, c := range configs {
-		for _, ad := range adths {
-			pt := Figure7Point{FlipTH: c.flipTH, RFMTH: c.rfmTH, AdTH: ad,
-				EnergyOverheadPct: map[string]float64{}}
-			if pct, ok := analysis.AdditionalNEntryPercent(p, c.flipTH, c.rfmTH, ad); ok {
-				pt.AdditionalNEntryPct = pct
-			}
-			for _, wl := range workloads {
-				pt.EnergyOverheadPct[wl.name] = energies[idx]
-				idx++
-			}
-			out = append(out, pt)
-		}
-	}
-	return out, nil
-}
-
-// adOrDisabled maps AdTH 0 to the mitigation package's "disabled" encoding.
-func adOrDisabled(ad int) int {
-	if ad == 0 {
-		return -1
-	}
-	return ad
+	return res.AdTH, nil
 }
 
 // ---------------------------------------------------------------- Figure 8
@@ -264,359 +143,43 @@ func Figure8() Figure8Data {
 // --------------------------------------------------------------- Figures 9–11
 
 // PerfPoint is one (scheme, FlipTH, workload) measurement.
-type PerfPoint struct {
-	Scheme              string
-	FlipTH              int
-	RFMTH               int
-	Workload            string
-	RelativePerformance float64 // % of unprotected aggregate IPC
-	EnergyOverheadPct   float64
-	TableKB             float64
-	Safe                bool
-}
-
-// String renders the point for logs.
-func (p PerfPoint) String() string {
-	return fmt.Sprintf("%-12s FlipTH=%-6d %-16s perf=%6.2f%% energy=+%5.2f%% table=%6.2fKB safe=%v",
-		p.Scheme, p.FlipTH, p.Workload, p.RelativePerformance, p.EnergyOverheadPct, p.TableKB, p.Safe)
-}
-
-// runner caches baselines so every scheme is normalized against an
-// identical unprotected run. The cache is keyed by (FlipTH, workload),
-// not workload name alone: a workload's generators can vary with FlipTH
-// under an unchanged name (bh-adversarial aims at the deployed filter's
-// collision set), so cross-threshold sharing would normalize against a
-// stale run. Sharing FlipTH-independent baselines is forgone — a few
-// extra unprotected runs per sweep buys the correctness guarantee. The
-// cache is single-flight, so concurrent cells share one simulation.
-type runner struct {
-	sc        Scale
-	baselines sweep.Cache[baselineKey, sim.Result]
-}
-
-// baselineKey identifies one unprotected run configuration.
-type baselineKey struct {
-	flipTH   int
-	workload string
-}
-
-func newRunner(sc Scale) *runner { return &runner{sc: sc} }
-
-// cfgFor derives the run configuration for a workload: attack workloads
-// get an extended instruction budget and end when the benign cores finish.
-func (r *runner) cfgFor(flipTH int, w Workload) SimConfig {
-	cfg := baseSimConfig(flipTH, r.sc)
-	cfg.Workload = w.Fresh()
-	if w.Attackers > 0 {
-		cfg.InstrPerCore = r.sc.InstrPerCore * attackInstrFactor
-		cfg.RequireCores = len(cfg.Workload) - w.Attackers
-	}
-	return cfg
-}
-
-func (r *runner) baseline(flipTH int, w Workload) (sim.Result, error) {
-	return r.baselines.Get(baselineKey{flipTH, w.Name}, func() (sim.Result, error) {
-		return sim.Run(r.cfgFor(flipTH, w))
-	})
-}
-
-// benignIPC sums per-core IPCs excluding trailing attacker cores (a
-// non-positive count means none; a count beyond the core total sums
-// nothing rather than walking off the slice).
-func benignIPC(res sim.Result, attackers int) float64 {
-	n := len(res.IPCs) - attackers
-	if n > len(res.IPCs) {
-		n = len(res.IPCs)
-	}
-	total := 0.0
-	for i := 0; i < n; i++ {
-		total += res.IPCs[i]
-	}
-	return total
-}
-
-// measure runs scheme on workload and produces the normalized point;
-// trailing attacker cores (w.Attackers) are excluded from IPC aggregation.
-func (r *runner) measure(scheme mc.Scheme, flipTH int, w Workload) (PerfPoint, error) {
-	attackers := w.Attackers
-	base, err := r.baseline(flipTH, w)
-	if err != nil {
-		return PerfPoint{}, err
-	}
-	cfg := r.cfgFor(flipTH, w)
-	cfg.Scheme = scheme
-	res, err := sim.Run(cfg)
-	if err != nil {
-		return PerfPoint{}, err
-	}
-	pt := PerfPoint{
-		Scheme:   scheme.Name(),
-		FlipTH:   flipTH,
-		Workload: w.Name,
-		Safe:     res.Safety.Safe(),
-	}
-	if b := benignIPC(base, attackers); b > 0 {
-		pt.RelativePerformance = 100 * benignIPC(res, attackers) / b
-	}
-	pt.EnergyOverheadPct = energy.OverheadPercent(res.Energy, base.Energy)
-	return pt, nil
-}
-
-// normalWorkloads returns the benign workload set for a scale (two mixes at
-// quick scale; the paper's five at full scale).
-func normalWorkloads(sc Scale) []Workload {
-	if sc.Cores < 16 {
-		return []Workload{trace.MixHigh(sc.Cores, sc.Seed), trace.FFT(sc.Cores, sc.Seed)}
-	}
-	all := trace.NormalWorkloads(sc.Cores, sc.Seed)
-	out := make([]Workload, len(all))
-	for i, w := range all {
-		out[i] = w.Workload
-	}
-	return out
-}
-
-// multiSidedWorkload builds the Figure 10(b) workload: benign cores plus
-// one multi-sided attacker (32 victims at full scale).
-func multiSidedWorkload(sc Scale) Workload {
-	mapper := mc.NewAddressMapper(sc.Params())
-	n := sc.attackCores()
-	benign := trace.MixHigh(n, sc.Seed)
-	victims := sc.multiSidedVictims()
-	return Workload{
-		Name:      "multi-sided-rh",
-		Attackers: 1,
-		Fresh: func() []Generator {
-			gens := benign.Fresh()
-			gens[len(gens)-1] = attack.NewMultiSided(mapper, 1, 7, 4000, victims)
-			return gens
-		},
-	}
-}
-
-// adversarialWorkload builds the Figure 10(c) workload: benign cores with
-// one hot-row service core, plus a BlockHammer-collision adversary aimed at
-// the service core's rows. Against non-throttling schemes the adversary's
-// walk is harmless background traffic.
-func adversarialWorkload(sc Scale, scheme mc.Scheme) Workload {
-	p := sc.Params()
-	mapper := mc.NewAddressMapper(p)
-	n := sc.attackCores()
-	benign := trace.MixHigh(n, sc.Seed)
-	victimCore := n - 2
-	if victimCore < 0 {
-		victimCore = 0
-	}
-	base := uint64(victimCore) << 28
-	loc := mapper.Map(base)
-	return Workload{
-		// The workload embeds the deployed scheme's collision oracle, so
-		// baselines must not be shared across schemes.
-		Name:      "bh-adversarial/" + scheme.Name(),
-		Attackers: 1,
-		Fresh: func() []Generator {
-			gens := benign.Fresh()
-			// The service core strides an 8 MB object with a prime stride:
-			// cache-hostile, so its rows keep re-activating — throttling
-			// them (or escalating to the whole thread) hurts directly.
-			gens[victimCore] = trace.NewStrided("service", base, 8<<20, 257, 6)
-			// The adversary hammers rows that collide with the service
-			// core's hot rows in the deployed scheme's filters.
-			gens[len(gens)-1] = adversaryFor(mapper, loc, scheme)
-			return gens
-		},
-	}
-}
-
-// adversaryFor builds a combined collision attack over the service core's
-// first four hot rows in its first bank.
-func adversaryFor(mapper *mc.AddressMapper, loc mc.Location, scheme mc.Scheme) Generator {
-	var rows []int
-	if th, ok := scheme.(attack.Throttler); ok {
-		for i := 0; i < 2; i++ {
-			for _, r := range th.CollidingRows(loc.GlobalBank, uint32(loc.Row+i), 4) {
-				rows = append(rows, int(r))
-			}
-		}
-	}
-	if len(rows) == 0 {
-		for i := 0; i < 16; i++ {
-			rows = append(rows, (loc.Row+64+8*i)%mapper.Params().Rows)
-		}
-	}
-	return attack.NewRowList("bh-adversarial", mapper, loc.Channel, loc.Bank, rows)
-}
+type PerfPoint = expspec.PerfPoint
 
 // Figure9Point compares Mithril and Mithril+ at one operating point.
-type Figure9Point struct {
-	FlipTH, RFMTH int
-	Mithril       float64 // relative performance %
-	MithrilPlus   float64
-	TableKB       float64
-	EnergyMithril float64
-	EnergyPlus    float64
-}
+type Figure9Point = expspec.Figure9Point
 
 // Figure9Data sweeps the paper's (FlipTH, RFMTH) grid on the mix-high
-// workload; grid cells run in parallel on the sweep engine.
+// workload (specs/figure9.*.json); grid cells run in parallel on the
+// sweep engine.
 func Figure9Data(sc Scale) ([]Figure9Point, error) {
-	grid := map[int][]int{12500: {512, 256, 128}, 6250: {256, 128, 64}, 3125: {128, 64, 32}, 1500: {32}}
-	order := []int{12500, 6250, 3125, 1500}
-	r := newRunner(sc)
-	w := trace.MixHigh(sc.Cores, sc.Seed)
-	// Enumerate the feasible cells up front (the feasibility check is
-	// analytic) so the fan-out preserves the grid order.
-	type f9cell struct{ flipTH, rfmTH int }
-	var cells []f9cell
-	for _, flipTH := range order {
-		for _, rfmTH := range grid[flipTH] {
-			if _, ok := analysis.Configure(sc.Params(), flipTH, rfmTH, mitigation.DefaultAdTH, analysis.DoubleSidedBlast); !ok {
-				continue
-			}
-			cells = append(cells, f9cell{flipTH, rfmTH})
-		}
+	res, err := runSpec("figure9.quick", sc)
+	if err != nil {
+		return nil, err
 	}
-	return sweep.Run(sc.Jobs, len(cells), func(i int) (Figure9Point, error) {
-		c := cells[i]
-		opt := mitigation.Options{Timing: sc.Params(), FlipTH: c.flipTH, RFMTH: c.rfmTH, Seed: sc.Seed}
-		m, err := r.measure(mitigation.NewMithril(opt), c.flipTH, w)
-		if err != nil {
-			return Figure9Point{}, err
-		}
-		plus, err := r.measure(mitigation.NewMithrilPlus(opt), c.flipTH, w)
-		if err != nil {
-			return Figure9Point{}, err
-		}
-		kb, _ := analysis.MithrilTableKB(DDR5(), c.flipTH, c.rfmTH, 0)
-		return Figure9Point{
-			FlipTH: c.flipTH, RFMTH: c.rfmTH,
-			Mithril: m.RelativePerformance, MithrilPlus: plus.RelativePerformance,
-			TableKB:       kb,
-			EnergyMithril: m.EnergyOverheadPct, EnergyPlus: plus.EnergyOverheadPct,
-		}, nil
-	})
+	return res.Grid, nil
 }
 
 // Figure10Data evaluates the RFM-compatible schemes (PARFM, BlockHammer,
 // Mithril, Mithril+) across FlipTH on normal, multi-sided-RH, and
-// BlockHammer-adversarial workloads, plus energy and area.
+// BlockHammer-adversarial workloads, plus energy and area
+// (specs/figure10.*.json).
 func Figure10Data(sc Scale) ([]PerfPoint, error) {
-	return comparisonSweep(sc, []string{"parfm", "blockhammer", "mithril", "mithril+"}, true)
+	res, err := runSpec("figure10.quick", sc)
+	if err != nil {
+		return nil, err
+	}
+	return res.Perf, nil
 }
 
 // Figure11Data evaluates the RFM-non-compatible baselines (PARA, CBT,
 // TWiCe, Graphene) against Mithril and Mithril+ on normal and multi-sided
-// workloads.
+// workloads (specs/figure11.*.json).
 func Figure11Data(sc Scale) ([]PerfPoint, error) {
-	return comparisonSweep(sc, []string{"para", "cbt", "twice", "graphene", "mithril", "mithril+"}, false)
-}
-
-// sweepCell is one independent (FlipTH, scheme, workload) measurement of
-// a comparison sweep: its own scheme instance, fresh workload, and — via
-// the runner's single-flight cache — a shared baseline.
-type sweepCell struct {
-	flipTH      int
-	scheme      string
-	workload    Workload
-	adversarial bool // build the BlockHammer-collision workload around the cell's scheme
-}
-
-func comparisonSweep(sc Scale, schemes []string, adversarial bool) ([]PerfPoint, error) {
-	r := newRunner(sc)
-	normals := normalWorkloads(sc)
-	rhW := multiSidedWorkload(sc)
-	// Enumerate every cell up front; the sweep engine fans them out over
-	// the worker pool and returns measurements in enumeration order, so
-	// the parallel sweep's output is identical to the serial path's.
-	var cells []sweepCell
-	for _, flipTH := range sc.FlipTHs {
-		for _, name := range schemes {
-			for _, w := range normals {
-				cells = append(cells, sweepCell{flipTH: flipTH, scheme: name, workload: w})
-			}
-			cells = append(cells, sweepCell{flipTH: flipTH, scheme: name, workload: rhW})
-			if adversarial {
-				cells = append(cells, sweepCell{flipTH: flipTH, scheme: name, adversarial: true})
-			}
-		}
-	}
-	pts, err := sweep.Run(sc.Jobs, len(cells), func(i int) (PerfPoint, error) {
-		c := cells[i]
-		s, err := mitigation.Build(c.scheme, mitigation.Options{Timing: sc.Params(), FlipTH: c.flipTH, Seed: sc.Seed})
-		if err != nil {
-			return PerfPoint{}, err
-		}
-		w := c.workload
-		if c.adversarial {
-			w = adversarialWorkload(sc, s)
-		}
-		return r.measure(s, c.flipTH, w)
-	})
+	res, err := runSpec("figure11.quick", sc)
 	if err != nil {
 		return nil, err
 	}
-	// Reduce in enumeration order: normal workloads collapse to one
-	// geo-mean point per (FlipTH, scheme); attack points pass through.
-	var out []PerfPoint
-	idx := 0
-	for _, flipTH := range sc.FlipTHs {
-		for _, name := range schemes {
-			var perfs []float64
-			var energySum float64
-			var safe = true
-			for range normals {
-				pt := pts[idx]
-				idx++
-				perfs = append(perfs, pt.RelativePerformance)
-				energySum += pt.EnergyOverheadPct
-				safe = safe && pt.Safe
-			}
-			out = append(out, PerfPoint{
-				Scheme: name, FlipTH: flipTH, Workload: "normal",
-				RelativePerformance: stats.Geomean(perfs),
-				EnergyOverheadPct:   energySum / float64(len(normals)),
-				TableKB:             schemeTableKB(name, flipTH),
-				Safe:                safe,
-			})
-			// Multi-sided RH.
-			pt := pts[idx]
-			idx++
-			pt.TableKB = schemeTableKB(name, flipTH)
-			out = append(out, pt)
-			// BlockHammer-adversarial (Figure 10 only).
-			if adversarial {
-				apt := pts[idx]
-				idx++
-				apt.TableKB = schemeTableKB(name, flipTH)
-				out = append(out, apt)
-			}
-		}
-	}
-	return out, nil
-}
-
-// schemeTableKB reports the per-bank counter table area for the scheme at
-// a FlipTH level (Figure 10(e)/Table IV models).
-func schemeTableKB(name string, flipTH int) float64 {
-	p := DDR5()
-	switch name {
-	case "graphene":
-		return analysis.GrapheneTableKB(p, flipTH)
-	case "twice":
-		return analysis.TWiCeTableKB(p, flipTH)
-	case "cbt":
-		return analysis.CBTTableKB(p, flipTH)
-	case "blockhammer":
-		return analysis.BlockHammerTableKB(flipTH)
-	case "mithril", "mithril+":
-		kb, ok := analysis.MithrilTableKB(p, flipTH, mitigation.PaperRFMTH(flipTH), 0)
-		if !ok {
-			return 0
-		}
-		return kb
-	default:
-		return 0
-	}
+	return res.Perf, nil
 }
 
 // ---------------------------------------------------------------- Table IV
@@ -632,74 +195,23 @@ func Table4Data() (computed, paper []TableIVRow) {
 // ------------------------------------------------------------- Safety (E11)
 
 // SafetyResult is one scheme × attack verdict.
-type SafetyResult struct {
-	Scheme         string
-	Attack         string
-	FlipTH         int
-	Flips          int
-	MaxDisturbance float64
-	Safe           bool
-}
+type SafetyResult = expspec.SafetyResult
 
 // SafetySweep attacks every scheme with double- and multi-sided patterns in
-// the full simulator and reports the fault-model verdicts. The (attack,
-// scheme) cells run in parallel on the sweep engine; results come back in
+// the full simulator (specs/safety.*.json, with the FlipTH axis overridden
+// by the caller) and reports the fault-model verdicts; results come back in
 // a fixed (attack, then scheme) order.
 func SafetySweep(sc Scale, flipTH int) ([]SafetyResult, error) {
-	mapper := mc.NewAddressMapper(sc.Params())
-	// Background core first, attacker last: the run ends when the benign
-	// core finishes even if the attacker is throttled to a crawl. The
-	// background must be memory-bound (footprint ≫ LLC) so the attacker
-	// gets a realistic time window.
-	attacks := []struct {
-		name  string
-		fresh func() []Generator
-	}{
-		{"double-sided", func() []Generator {
-			return []Generator{
-				trace.NewStream("bg", 1<<28, 64<<20, 10, 4),
-				attack.NewDoubleSided(mapper, 0, 0, 1000),
-			}
-		}},
-		{"multi-sided-32", func() []Generator {
-			return []Generator{
-				trace.NewStream("bg", 1<<28, 64<<20, 10, 4),
-				attack.NewMultiSided(mapper, 0, 0, 2000, 32),
-			}
-		}},
+	sp, err := LoadShippedSpec("safety.quick")
+	if err != nil {
+		return nil, err
 	}
-	schemes := []string{"none", "parfm", "blockhammer", "graphene", "twice", "cbt", "mithril", "mithril+"}
-	type safetyCell struct {
-		attackIdx int
-		scheme    string
+	sp.Axes.FlipTHs = []int{flipTH}
+	res, err := sp.RunAt(sc)
+	if err != nil {
+		return nil, err
 	}
-	var cells []safetyCell
-	for ai := range attacks {
-		for _, name := range schemes {
-			cells = append(cells, safetyCell{ai, name})
-		}
-	}
-	return sweep.Run(sc.Jobs, len(cells), func(i int) (SafetyResult, error) {
-		c := cells[i]
-		s, err := mitigation.Build(c.scheme, mitigation.Options{Timing: sc.Params(), FlipTH: flipTH, Seed: sc.Seed})
-		if err != nil {
-			return SafetyResult{}, err
-		}
-		cfg := baseSimConfig(flipTH, sc)
-		cfg.Scheme = s
-		cfg.Workload = attacks[c.attackIdx].fresh()
-		cfg.InstrPerCore = sc.InstrPerCore * attackInstrFactor
-		cfg.RequireCores = 1 // benign core only
-		res, err := sim.Run(cfg)
-		if err != nil {
-			return SafetyResult{}, err
-		}
-		return SafetyResult{
-			Scheme: c.scheme, Attack: attacks[c.attackIdx].name, FlipTH: flipTH,
-			Flips: res.Safety.Flips, MaxDisturbance: res.Safety.MaxDisturbance,
-			Safe: res.Safety.Safe(),
-		}, nil
-	})
+	return res.Safety, nil
 }
 
 // PARFMFailure re-exports the Appendix C failure model for the CLI.

@@ -1,0 +1,110 @@
+package mithril
+
+// Round-trip tests for the declarative experiment layer: every shipped
+// spec must parse and validate, and running the shipped figure10 spec
+// through the generic expspec executor must be byte-identical to the
+// Figure10Data wrapper (the same guarantee `mithrilsim run
+// specs/figure10.quick.json` gives against `mithrilsim figure10`, held at
+// a unit-test-sized scale).
+
+import (
+	"strings"
+	"testing"
+
+	"mithril/internal/expspec"
+	"mithril/internal/stats"
+)
+
+// TestShippedSpecsValidate parses the whole embedded spec inventory; a
+// broken shipped spec should fail `go test`, not the first CLI user.
+func TestShippedSpecsValidate(t *testing.T) {
+	specs, err := expspec.LoadAll(SpecsFS(), "specs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) < 13 {
+		t.Fatalf("only %d shipped specs found", len(specs))
+	}
+	// Every simulation figure ships quick and full variants, and the CI
+	// golden gate needs the golden variants.
+	want := []string{
+		"figure7.quick", "figure7.full",
+		"figure9.quick", "figure9.full", "figure9.golden",
+		"figure10.quick", "figure10.full", "figure10.golden",
+		"figure11.quick", "figure11.full",
+		"safety.quick", "safety.full", "safety.golden",
+	}
+	byName := map[string]*expspec.Spec{}
+	for _, s := range specs {
+		byName[s.Name] = s
+	}
+	for _, name := range want {
+		if byName[name] == nil {
+			t.Errorf("shipped spec %q missing", name)
+		}
+	}
+	// The golden variants must actually run at the golden scale the
+	// testdata files were generated at.
+	for _, name := range []string{"figure9.golden", "figure10.golden", "safety.golden"} {
+		sp := byName[name]
+		if sp == nil {
+			continue
+		}
+		sc, err := sp.Scale.Resolve()
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if g := goldenScale(); sc.Cores != g.Cores || sc.InstrPerCore != g.InstrPerCore || sc.TimeScale != g.TimeScale {
+			t.Errorf("%s resolves to %+v, want golden scale %+v", name, sc, g)
+		}
+	}
+}
+
+// roundTripScale is small enough for a unit test yet runs the full
+// comparison machinery (normal geomean, multi-sided attack, adversarial
+// workload construction).
+func roundTripScale() Scale {
+	return Scale{Cores: 4, InstrPerCore: 2_000, FlipTHs: []int{6250}, Seed: 1, TimeScale: 8}
+}
+
+func TestSpecDrivenFigure10RoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	sc := roundTripScale()
+	sp, err := expspec.LoadFS(SpecsFS(), "specs/figure10.quick.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sp.RunAt(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := Figure10Data(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Golden(), formatPerfPoints(pts); got != want {
+		t.Errorf("spec-driven output diverges from Figure10Data:\n%s", stats.DiffLines(want, got))
+	}
+	// The spec grid names what actually ran, in order.
+	cells := sp.Expand(sc)
+	if len(cells) != len(res.Perf) {
+		t.Fatalf("Expand = %d cells, run emitted %d rows", len(cells), len(res.Perf))
+	}
+	for i, c := range cells {
+		if res.Perf[i].Scheme != c.Scheme || res.Perf[i].FlipTH != c.FlipTH ||
+			res.Perf[i].Workload != c.Workload {
+			t.Errorf("row %d = %+v, want cell %+v", i, res.Perf[i], c)
+		}
+	}
+	// Machine formats stay available on the same result.
+	var b strings.Builder
+	if err := res.Emit(&b, expspec.FormatCSV); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(b.String(), "\n"); lines != len(pts)+1 {
+		t.Errorf("CSV emitted %d lines, want %d rows + header", lines, len(pts))
+	}
+}

@@ -1,0 +1,675 @@
+package expspec
+
+import (
+	"fmt"
+	"sort"
+
+	"mithril/internal/analysis"
+	"mithril/internal/attack"
+	"mithril/internal/energy"
+	"mithril/internal/mc"
+	"mithril/internal/mitigation"
+	"mithril/internal/sim"
+	"mithril/internal/stats"
+	"mithril/internal/sweep"
+	"mithril/internal/timing"
+	"mithril/internal/trace"
+)
+
+// attackInstrFactor extends attack runs so threshold mechanisms (NBL,
+// FlipTH accumulation) have time to engage.
+const attackInstrFactor = 64
+
+// BaseSimConfig builds the Table III system configuration at the scale's
+// (possibly time-compressed) timing.
+func BaseSimConfig(flipTH int, sc Scale) sim.Config {
+	return sim.Config{
+		Params:       sc.Params(),
+		FlipTH:       flipTH,
+		Scheduler:    mc.BLISS,
+		Policy:       mc.MinimalistOpen,
+		InstrPerCore: sc.InstrPerCore,
+	}
+}
+
+// ---------------------------------------------------------------- registries
+
+// benignWorkloads maps spec workload names to the paper's benign generator
+// sets.
+var benignWorkloads = map[string]func(cores int, seed uint64) trace.Workload{
+	"mix-high":  trace.MixHigh,
+	"mix-blend": trace.MixBlend,
+	"fft":       trace.FFT,
+	"radix":     trace.Radix,
+	"pagerank":  trace.PageRank,
+}
+
+func benignWorkloadNames() []string { return sortedKeys(benignWorkloads) }
+
+// Comparison meta-workloads: "normal" is the scale's benign set reduced to
+// one geomean row; "multi-sided-rh" is the Figure 10(b) attack.
+const (
+	normalSet    = "normal"
+	multiSidedRH = "multi-sided-rh"
+)
+
+func knownComparisonWorkload(name string) bool {
+	if name == normalSet || name == multiSidedRH {
+		return true
+	}
+	_, ok := benignWorkloads[name]
+	return ok
+}
+
+func comparisonWorkloadNames() []string {
+	return append([]string{normalSet, multiSidedRH}, benignWorkloadNames()...)
+}
+
+// adthWorkloads maps the Figure 7 workload classes to generators, plus the
+// short labels its energy-column headers use.
+var adthWorkloads = map[string]struct {
+	short string
+	build func(cores int, seed uint64) trace.Workload
+}{
+	"multi-programmed": {"multi-prog", trace.MixHigh},
+	"multi-threaded":   {"multi-thread", trace.FFT},
+}
+
+func adthWorkloadNames() []string { return sortedKeys(adthWorkloads) }
+
+// attackPatterns maps safety-spec workload names to attack builders.
+// Background core first, attacker last: the run ends when the benign core
+// finishes even if the attacker is throttled to a crawl. The background
+// must be memory-bound (footprint ≫ LLC) so the attacker gets a realistic
+// time window.
+var attackPatterns = map[string]func(mapper *mc.AddressMapper) []trace.Generator{
+	"double-sided": func(mapper *mc.AddressMapper) []trace.Generator {
+		return []trace.Generator{
+			trace.NewStream("bg", 1<<28, 64<<20, 10, 4),
+			attack.NewDoubleSided(mapper, 0, 0, 1000),
+		}
+	},
+	"multi-sided-32": func(mapper *mc.AddressMapper) []trace.Generator {
+		return []trace.Generator{
+			trace.NewStream("bg", 1<<28, 64<<20, 10, 4),
+			attack.NewMultiSided(mapper, 0, 0, 2000, 32),
+		}
+	},
+}
+
+func attackPatternNames() []string { return sortedKeys(attackPatterns) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ---------------------------------------------------------------- row types
+
+// PerfPoint is one (scheme, FlipTH, workload) measurement.
+type PerfPoint struct {
+	Scheme              string
+	FlipTH              int
+	RFMTH               int
+	Workload            string
+	Seed                uint64
+	RelativePerformance float64 // % of unprotected aggregate IPC
+	EnergyOverheadPct   float64
+	TableKB             float64
+	Safe                bool
+}
+
+// String renders the point for logs.
+func (p PerfPoint) String() string {
+	return fmt.Sprintf("%-12s FlipTH=%-6d %-16s perf=%6.2f%% energy=+%5.2f%% table=%6.2fKB safe=%v",
+		p.Scheme, p.FlipTH, p.Workload, p.RelativePerformance, p.EnergyOverheadPct, p.TableKB, p.Safe)
+}
+
+// SafetyResult is one scheme × attack verdict.
+type SafetyResult struct {
+	Scheme         string
+	Attack         string
+	FlipTH         int
+	Seed           uint64
+	Flips          int
+	MaxDisturbance float64
+	Safe           bool
+}
+
+// Figure9Point compares Mithril and Mithril+ at one operating point.
+type Figure9Point struct {
+	FlipTH, RFMTH int
+	Seed          uint64
+	Mithril       float64 // relative performance %
+	MithrilPlus   float64
+	TableKB       float64
+	EnergyMithril float64
+	EnergyPlus    float64
+}
+
+// Figure7Point is one AdTH level of Figure 7.
+type Figure7Point struct {
+	FlipTH, RFMTH, AdTH int
+	Seed                uint64
+	// EnergyOverheadPct per workload class (multi-programmed/threaded).
+	EnergyOverheadPct map[string]float64
+	// AdditionalNEntryPct is the Theorem 2 table growth (right axis).
+	AdditionalNEntryPct float64
+}
+
+// ---------------------------------------------------------------- runner
+
+// runner caches baselines so every scheme is normalized against an
+// identical unprotected run. The cache is keyed by (seed, FlipTH,
+// workload), not workload name alone: a workload's generators can vary
+// with the seed and with FlipTH under an unchanged name (bh-adversarial
+// aims at the deployed filter's collision set), so cross-threshold sharing
+// would normalize against a stale run. Sharing FlipTH-independent
+// baselines is forgone — a few extra unprotected runs per sweep buys the
+// correctness guarantee. The cache is single-flight, so concurrent cells
+// share one simulation.
+type runner struct {
+	sc        Scale
+	baselines sweep.Cache[baselineKey, sim.Result]
+}
+
+// baselineKey identifies one unprotected run configuration.
+type baselineKey struct {
+	seed     uint64
+	flipTH   int
+	workload string
+}
+
+func newRunner(sc Scale) *runner { return &runner{sc: sc} }
+
+// cfgFor derives the run configuration for a workload: attack workloads
+// get an extended instruction budget and end when the benign cores finish.
+func (r *runner) cfgFor(flipTH int, w trace.Workload) sim.Config {
+	cfg := BaseSimConfig(flipTH, r.sc)
+	cfg.Workload = w.Fresh()
+	if w.Attackers > 0 {
+		cfg.InstrPerCore = r.sc.InstrPerCore * attackInstrFactor
+		cfg.RequireCores = len(cfg.Workload) - w.Attackers
+	}
+	return cfg
+}
+
+func (r *runner) baseline(seed uint64, flipTH int, w trace.Workload) (sim.Result, error) {
+	return r.baselines.Get(baselineKey{seed, flipTH, w.Name}, func() (sim.Result, error) {
+		return sim.Run(r.cfgFor(flipTH, w))
+	})
+}
+
+// BenignIPC sums per-core IPCs excluding trailing attacker cores (a
+// non-positive count means none; a count beyond the core total sums
+// nothing rather than walking off the slice).
+func BenignIPC(res sim.Result, attackers int) float64 {
+	n := len(res.IPCs) - attackers
+	if n > len(res.IPCs) {
+		n = len(res.IPCs)
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += res.IPCs[i]
+	}
+	return total
+}
+
+// measure runs scheme on workload and produces the normalized point;
+// trailing attacker cores (w.Attackers) are excluded from IPC aggregation.
+func (r *runner) measure(scheme mc.Scheme, seed uint64, flipTH int, w trace.Workload) (PerfPoint, error) {
+	attackers := w.Attackers
+	base, err := r.baseline(seed, flipTH, w)
+	if err != nil {
+		return PerfPoint{}, err
+	}
+	cfg := r.cfgFor(flipTH, w)
+	cfg.Scheme = scheme
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return PerfPoint{}, err
+	}
+	pt := PerfPoint{
+		Scheme:   scheme.Name(),
+		FlipTH:   flipTH,
+		Workload: w.Name,
+		Seed:     seed,
+		Safe:     res.Safety.Safe(),
+	}
+	if b := BenignIPC(base, attackers); b > 0 {
+		pt.RelativePerformance = 100 * BenignIPC(res, attackers) / b
+	}
+	pt.EnergyOverheadPct = energy.OverheadPercent(res.Energy, base.Energy)
+	return pt, nil
+}
+
+// normalWorkloads returns the benign workload set for a scale (two mixes at
+// quick scale; the paper's five at full scale).
+func normalWorkloads(sc Scale, seed uint64) []trace.Workload {
+	if sc.Cores < 16 {
+		return []trace.Workload{trace.MixHigh(sc.Cores, seed), trace.FFT(sc.Cores, seed)}
+	}
+	all := trace.NormalWorkloads(sc.Cores, seed)
+	out := make([]trace.Workload, len(all))
+	for i, w := range all {
+		out[i] = w.Workload
+	}
+	return out
+}
+
+// multiSidedWorkload builds the Figure 10(b) workload: benign cores plus
+// one multi-sided attacker (32 victims at full scale).
+func multiSidedWorkload(sc Scale, seed uint64) trace.Workload {
+	mapper := mc.NewAddressMapper(sc.Params())
+	n := sc.attackCores()
+	benign := trace.MixHigh(n, seed)
+	victims := sc.multiSidedVictims()
+	return trace.Workload{
+		Name:      multiSidedRH,
+		Attackers: 1,
+		Fresh: func() []trace.Generator {
+			gens := benign.Fresh()
+			gens[len(gens)-1] = attack.NewMultiSided(mapper, 1, 7, 4000, victims)
+			return gens
+		},
+	}
+}
+
+// adversarialWorkload builds the Figure 10(c) workload: benign cores with
+// one hot-row service core, plus a BlockHammer-collision adversary aimed at
+// the service core's rows. Against non-throttling schemes the adversary's
+// walk is harmless background traffic.
+func adversarialWorkload(sc Scale, seed uint64, scheme mc.Scheme) trace.Workload {
+	p := sc.Params()
+	mapper := mc.NewAddressMapper(p)
+	n := sc.attackCores()
+	benign := trace.MixHigh(n, seed)
+	victimCore := n - 2
+	if victimCore < 0 {
+		victimCore = 0
+	}
+	base := uint64(victimCore) << 28
+	loc := mapper.Map(base)
+	return trace.Workload{
+		// The workload embeds the deployed scheme's collision oracle, so
+		// baselines must not be shared across schemes.
+		Name:      "bh-adversarial/" + scheme.Name(),
+		Attackers: 1,
+		Fresh: func() []trace.Generator {
+			gens := benign.Fresh()
+			// The service core strides an 8 MB object with a prime stride:
+			// cache-hostile, so its rows keep re-activating — throttling
+			// them (or escalating to the whole thread) hurts directly.
+			gens[victimCore] = trace.NewStrided("service", base, 8<<20, 257, 6)
+			// The adversary hammers rows that collide with the service
+			// core's hot rows in the deployed scheme's filters.
+			gens[len(gens)-1] = adversaryFor(mapper, loc, scheme)
+			return gens
+		},
+	}
+}
+
+// adversaryFor builds a combined collision attack over the service core's
+// first four hot rows in its first bank.
+func adversaryFor(mapper *mc.AddressMapper, loc mc.Location, scheme mc.Scheme) trace.Generator {
+	var rows []int
+	if th, ok := scheme.(attack.Throttler); ok {
+		for i := 0; i < 2; i++ {
+			for _, r := range th.CollidingRows(loc.GlobalBank, uint32(loc.Row+i), 4) {
+				rows = append(rows, int(r))
+			}
+		}
+	}
+	if len(rows) == 0 {
+		for i := 0; i < 16; i++ {
+			rows = append(rows, (loc.Row+64+8*i)%mapper.Params().Rows)
+		}
+	}
+	return attack.NewRowList("bh-adversarial", mapper, loc.Channel, loc.Bank, rows)
+}
+
+// schemeTableKB reports the per-bank counter table area for the scheme at
+// a FlipTH level (Figure 10(e)/Table IV models).
+func schemeTableKB(name string, flipTH int) float64 {
+	p := timing.DDR5()
+	switch name {
+	case "graphene":
+		return analysis.GrapheneTableKB(p, flipTH)
+	case "twice":
+		return analysis.TWiCeTableKB(p, flipTH)
+	case "cbt":
+		return analysis.CBTTableKB(p, flipTH)
+	case "blockhammer":
+		return analysis.BlockHammerTableKB(flipTH)
+	case "mithril", "mithril+":
+		kb, ok := analysis.MithrilTableKB(p, flipTH, mitigation.PaperRFMTH(flipTH), 0)
+		if !ok {
+			return 0
+		}
+		return kb
+	default:
+		return 0
+	}
+}
+
+// ---------------------------------------------------------------- executors
+
+// Run resolves the spec's own scale and executes the grid.
+func (s *Spec) Run() (*Result, error) {
+	sc, err := s.Scale.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	return s.RunAt(sc)
+}
+
+// RunAt validates the spec and executes its grid at an explicit scale
+// (the library's figure wrappers pass their caller's Scale; the CLI passes
+// the spec's resolved scale with the -jobs override applied). Rows come
+// back in the deterministic Expand order regardless of worker count.
+func (s *Spec) RunAt(sc Scale) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Spec: s, Scale: sc}
+	var err error
+	switch s.Kind {
+	case Comparison:
+		res.Perf, err = s.runComparison(sc)
+	case SafetyKind:
+		res.Safety, err = s.runSafety(sc)
+	case ConfigGrid:
+		res.Grid, err = s.runConfigGrid(sc)
+	case AdTHSweep:
+		res.AdTH, err = s.runAdTH(sc)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// seeds resolves the seed axis (empty: the scale's single seed).
+func (s *Spec) seeds(sc Scale) []uint64 {
+	if len(s.Axes.Seeds) > 0 {
+		return s.Axes.Seeds
+	}
+	return []uint64{sc.Seed}
+}
+
+// compSimCell is one independent simulation of a comparison sweep: its own
+// scheme instance, fresh workload, and — via the runner's single-flight
+// cache — a shared baseline.
+type compSimCell struct {
+	seed        uint64
+	flipTH      int
+	scheme      string
+	workload    trace.Workload
+	adversarial bool // build the BlockHammer-collision workload around the cell's scheme
+}
+
+// runComparison generalizes the Figure 10/11 sweeps: every workload-axis
+// entry yields one row per (seed, FlipTH, scheme), with "normal" expanding
+// to the scale's benign set and geomean-reducing back to a single row.
+func (s *Spec) runComparison(sc Scale) ([]PerfPoint, error) {
+	r := newRunner(sc)
+	flipths := s.Axes.FlipTHs
+	if len(flipths) == 0 {
+		flipths = sc.FlipTHs
+	}
+	// Enumerate every cell up front; the sweep engine fans them out over
+	// the worker pool and returns measurements in enumeration order, so
+	// the parallel sweep's output is identical to the serial path's.
+	var cells []compSimCell
+	type seedSet struct {
+		normals []trace.Workload
+		rhW     trace.Workload
+	}
+	sets := map[uint64]*seedSet{}
+	for _, seed := range s.seeds(sc) {
+		set := &seedSet{}
+		sets[seed] = set
+		for _, name := range s.Axes.Workloads {
+			switch name {
+			case normalSet:
+				set.normals = normalWorkloads(sc, seed)
+			case multiSidedRH:
+				set.rhW = multiSidedWorkload(sc, seed)
+			}
+		}
+		for _, flipTH := range flipths {
+			for _, scheme := range s.Axes.Schemes {
+				for _, name := range s.Axes.Workloads {
+					switch name {
+					case normalSet:
+						for _, w := range set.normals {
+							cells = append(cells, compSimCell{seed: seed, flipTH: flipTH, scheme: scheme, workload: w})
+						}
+					case multiSidedRH:
+						cells = append(cells, compSimCell{seed: seed, flipTH: flipTH, scheme: scheme, workload: set.rhW})
+					default:
+						cells = append(cells, compSimCell{seed: seed, flipTH: flipTH, scheme: scheme,
+							workload: benignWorkloads[name](sc.Cores, seed)})
+					}
+				}
+				if s.Axes.Adversarial {
+					cells = append(cells, compSimCell{seed: seed, flipTH: flipTH, scheme: scheme, adversarial: true})
+				}
+			}
+		}
+	}
+	pts, err := sweep.Run(sc.Jobs, len(cells), func(i int) (PerfPoint, error) {
+		c := cells[i]
+		scheme, err := mitigation.Build(c.scheme, mitigation.Options{Timing: sc.Params(), FlipTH: c.flipTH, Seed: c.seed})
+		if err != nil {
+			return PerfPoint{}, err
+		}
+		w := c.workload
+		if c.adversarial {
+			w = adversarialWorkload(sc, c.seed, scheme)
+		}
+		return r.measure(scheme, c.seed, c.flipTH, w)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Reduce in enumeration order: the "normal" set collapses to one
+	// geo-mean point per (seed, FlipTH, scheme); other points pass through.
+	var out []PerfPoint
+	idx := 0
+	for _, seed := range s.seeds(sc) {
+		set := sets[seed]
+		for _, flipTH := range flipths {
+			for _, scheme := range s.Axes.Schemes {
+				for _, name := range s.Axes.Workloads {
+					if name == normalSet {
+						var perfs []float64
+						var energySum float64
+						var safe = true
+						for range set.normals {
+							pt := pts[idx]
+							idx++
+							perfs = append(perfs, pt.RelativePerformance)
+							energySum += pt.EnergyOverheadPct
+							safe = safe && pt.Safe
+						}
+						out = append(out, PerfPoint{
+							Scheme: scheme, FlipTH: flipTH, Workload: normalSet, Seed: seed,
+							RelativePerformance: stats.Geomean(perfs),
+							EnergyOverheadPct:   energySum / float64(len(set.normals)),
+							TableKB:             schemeTableKB(scheme, flipTH),
+							Safe:                safe,
+						})
+						continue
+					}
+					pt := pts[idx]
+					idx++
+					pt.TableKB = schemeTableKB(scheme, flipTH)
+					out = append(out, pt)
+				}
+				if s.Axes.Adversarial {
+					apt := pts[idx]
+					idx++
+					apt.TableKB = schemeTableKB(scheme, flipTH)
+					out = append(out, apt)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// runSafety attacks every scheme with the spec's attack patterns in the
+// full simulator and reports the fault-model verdicts; results come back
+// in (seed, FlipTH, attack, scheme) order.
+func (s *Spec) runSafety(sc Scale) ([]SafetyResult, error) {
+	mapper := mc.NewAddressMapper(sc.Params())
+	cells := s.Expand(sc)
+	return sweep.Run(sc.Jobs, len(cells), func(i int) (SafetyResult, error) {
+		c := cells[i]
+		scheme, err := mitigation.Build(c.Scheme, mitigation.Options{Timing: sc.Params(), FlipTH: c.FlipTH, Seed: c.Seed})
+		if err != nil {
+			return SafetyResult{}, err
+		}
+		cfg := BaseSimConfig(c.FlipTH, sc)
+		cfg.Scheme = scheme
+		cfg.Workload = attackPatterns[c.Workload](mapper)
+		cfg.InstrPerCore = sc.InstrPerCore * attackInstrFactor
+		cfg.RequireCores = 1 // benign core only
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return SafetyResult{}, err
+		}
+		return SafetyResult{
+			Scheme: c.Scheme, Attack: c.Workload, FlipTH: c.FlipTH, Seed: c.Seed,
+			Flips: res.Safety.Flips, MaxDisturbance: res.Safety.MaxDisturbance,
+			Safe: res.Safety.Safe(),
+		}, nil
+	})
+}
+
+// runConfigGrid sweeps the paired Mithril/Mithril+ grid; infeasible
+// (FlipTH, RFMTH) points (Theorem 1 has no table size) are skipped, so the
+// emitted rows are the analytically feasible subset of the declared grid.
+func (s *Spec) runConfigGrid(sc Scale) ([]Figure9Point, error) {
+	r := newRunner(sc)
+	build := benignWorkloads[s.Axes.Workloads[0]]
+	// Expand already filtered out analytically infeasible points, so the
+	// fan-out runs exactly the cells the spec's grid emits.
+	cells := s.Expand(sc)
+	workloads := map[uint64]trace.Workload{}
+	for _, seed := range s.seeds(sc) {
+		workloads[seed] = build(sc.Cores, seed)
+	}
+	return sweep.Run(sc.Jobs, len(cells), func(i int) (Figure9Point, error) {
+		c := cells[i]
+		w := workloads[c.Seed]
+		opt := mitigation.Options{Timing: sc.Params(), FlipTH: c.FlipTH, RFMTH: c.RFMTH, Seed: c.Seed}
+		m, err := r.measure(mitigation.NewMithril(opt), c.Seed, c.FlipTH, w)
+		if err != nil {
+			return Figure9Point{}, err
+		}
+		plus, err := r.measure(mitigation.NewMithrilPlus(opt), c.Seed, c.FlipTH, w)
+		if err != nil {
+			return Figure9Point{}, err
+		}
+		kb, _ := analysis.MithrilTableKB(timing.DDR5(), c.FlipTH, c.RFMTH, 0)
+		return Figure9Point{
+			FlipTH: c.FlipTH, RFMTH: c.RFMTH, Seed: c.Seed,
+			Mithril: m.RelativePerformance, MithrilPlus: plus.RelativePerformance,
+			TableKB:       kb,
+			EnergyMithril: m.EnergyOverheadPct, EnergyPlus: plus.EnergyOverheadPct,
+		}, nil
+	})
+}
+
+// adOrDisabled maps AdTH 0 to the mitigation package's "disabled" encoding.
+func adOrDisabled(ad int) int {
+	if ad == 0 {
+		return -1
+	}
+	return ad
+}
+
+// runAdTH sweeps AdTH for fixed (FlipTH, RFMTH) configurations across the
+// workload classes, reporting energy overheads plus the Theorem 2 table
+// growth.
+func (s *Spec) runAdTH(sc Scale) ([]Figure7Point, error) {
+	p := sc.Params()
+	// One baseline per (seed, workload): the unprotected run is
+	// scheme-independent, single-flight so concurrent cells share it. The
+	// baseline's FlipTH slot (it only parameterizes the fault checker, not
+	// the machine) uses the first config's threshold.
+	baseFlipTH := s.Axes.Configs[0].FlipTH
+	var baselines sweep.Cache[baselineKey, sim.Result]
+	baseline := func(seed uint64, name string, w trace.Workload) (sim.Result, error) {
+		return baselines.Get(baselineKey{seed, 0, name}, func() (sim.Result, error) {
+			cfg := BaseSimConfig(baseFlipTH, sc)
+			cfg.Workload = w.Fresh()
+			return sim.Run(cfg)
+		})
+	}
+	// Fan each (seed, config, AdTH, workload) cell out to the worker pool;
+	// the energy overheads come back in enumeration order.
+	type adthCell struct {
+		seed   uint64
+		config ConfigPoint
+		adTH   int
+		wName  string
+	}
+	var cells []adthCell
+	for _, seed := range s.seeds(sc) {
+		for _, cfg := range s.Axes.Configs {
+			for _, ad := range s.Axes.AdTHs {
+				for _, wName := range s.Axes.Workloads {
+					cells = append(cells, adthCell{seed, cfg, ad, wName})
+				}
+			}
+		}
+	}
+	energies, err := sweep.Run(sc.Jobs, len(cells), func(i int) (float64, error) {
+		c := cells[i]
+		w := adthWorkloads[c.wName].build(sc.Cores, c.seed)
+		base, err := baseline(c.seed, c.wName, w)
+		if err != nil {
+			return 0, err
+		}
+		scheme := mitigation.NewMithril(mitigation.Options{
+			Timing: p, FlipTH: c.config.FlipTH, RFMTH: c.config.RFMTH, AdTH: adOrDisabled(c.adTH), Seed: c.seed,
+		})
+		cfg := BaseSimConfig(c.config.FlipTH, sc)
+		cfg.Scheme = scheme
+		cfg.Workload = w.Fresh()
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return energy.OverheadPercent(res.Energy, base.Energy), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Figure7Point
+	idx := 0
+	for _, seed := range s.seeds(sc) {
+		for _, cfg := range s.Axes.Configs {
+			for _, ad := range s.Axes.AdTHs {
+				pt := Figure7Point{FlipTH: cfg.FlipTH, RFMTH: cfg.RFMTH, AdTH: ad, Seed: seed,
+					EnergyOverheadPct: map[string]float64{}}
+				if pct, ok := analysis.AdditionalNEntryPercent(p, cfg.FlipTH, cfg.RFMTH, ad); ok {
+					pt.AdditionalNEntryPct = pct
+				}
+				for _, wName := range s.Axes.Workloads {
+					pt.EnergyOverheadPct[wName] = energies[idx]
+					idx++
+				}
+				out = append(out, pt)
+			}
+		}
+	}
+	return out, nil
+}

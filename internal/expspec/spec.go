@@ -1,0 +1,426 @@
+package expspec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path"
+	"sort"
+
+	"mithril/internal/analysis"
+	"mithril/internal/mitigation"
+)
+
+// Kind selects the experiment family a spec expands into. Every kind shares
+// the same execution machinery (sweep fan-out, single-flight baselines) but
+// produces a different row shape.
+type Kind string
+
+// Experiment kinds.
+const (
+	// Comparison measures schemes × FlipTHs × workloads as normalized
+	// performance/energy/area points (Figures 10 and 11).
+	Comparison Kind = "comparison"
+	// SafetyKind attacks schemes × attack patterns and reports the
+	// fault-model verdicts (the safety sweep).
+	SafetyKind Kind = "safety"
+	// ConfigGrid sweeps the paired Mithril/Mithril+ (FlipTH, RFMTH)
+	// operating-point grid (Figure 9).
+	ConfigGrid Kind = "configgrid"
+	// AdTHSweep sweeps the adaptive-refresh threshold for fixed
+	// (FlipTH, RFMTH) configurations (Figure 7).
+	AdTHSweep Kind = "adth"
+)
+
+// kinds lists the valid Kind values for validation messages.
+var kinds = []Kind{Comparison, SafetyKind, ConfigGrid, AdTHSweep}
+
+// ScaleSpec names the simulation scale a spec runs at: a required preset
+// plus optional field overrides (0 keeps the preset's value).
+type ScaleSpec struct {
+	// Preset is "quick", "full", or "golden" (QuickScale at the regression
+	// goldens' instruction budget).
+	Preset       string `json:"preset"`
+	Cores        int    `json:"cores,omitempty"`
+	InstrPerCore int64  `json:"instr_per_core,omitempty"`
+	TimeScale    int    `json:"time_scale,omitempty"`
+	Seed         uint64 `json:"seed,omitempty"`
+}
+
+// Resolve turns the named preset plus overrides into a concrete Scale.
+func (ss ScaleSpec) Resolve() (Scale, error) {
+	var sc Scale
+	switch ss.Preset {
+	case "quick":
+		sc = QuickScale()
+	case "full":
+		sc = FullScale()
+	case "golden":
+		sc = GoldenScale()
+	default:
+		return Scale{}, fmt.Errorf("scale: unknown preset %q (want quick, full, or golden)", ss.Preset)
+	}
+	if ss.Cores > 0 {
+		sc.Cores = ss.Cores
+	}
+	if ss.InstrPerCore > 0 {
+		sc.InstrPerCore = ss.InstrPerCore
+	}
+	if ss.TimeScale > 0 {
+		sc.TimeScale = ss.TimeScale
+	}
+	if ss.Seed > 0 {
+		sc.Seed = ss.Seed
+	}
+	return sc, nil
+}
+
+// GridLevel is one FlipTH row of a configgrid spec: the RFMTH points swept
+// at that threshold (the paper pairs each FlipTH with a feasible RFMTH
+// range, so a plain cross-product cannot express the grid).
+type GridLevel struct {
+	FlipTH int   `json:"flipth"`
+	RFMTHs []int `json:"rfmths"`
+}
+
+// ConfigPoint is one fixed (FlipTH, RFMTH) operating point of an adth spec.
+type ConfigPoint struct {
+	FlipTH int `json:"flipth"`
+	RFMTH  int `json:"rfmth"`
+}
+
+// Axes declares the experiment grid. Which axes apply depends on the kind;
+// unused axes must stay empty (validation rejects them).
+type Axes struct {
+	// Schemes is the mitigation list (comparison, safety). Valid names are
+	// mitigation.Names(); configgrid pairs mithril/mithril+ implicitly.
+	Schemes []string `json:"schemes,omitempty"`
+	// FlipTHs overrides the scale's FlipTH sweep (comparison) or sets the
+	// attack thresholds (safety, required there).
+	FlipTHs []int `json:"flipths,omitempty"`
+	// Workloads names the measured workloads. Comparison accepts the
+	// benign generators ("mix-high", "mix-blend", "fft", "radix",
+	// "pagerank"), the geomean-reduced "normal" set, and the
+	// "multi-sided-rh" attack; safety accepts attack patterns
+	// ("double-sided", "multi-sided-32"); adth accepts the Figure 7
+	// classes ("multi-programmed", "multi-threaded"); configgrid accepts
+	// one benign generator.
+	Workloads []string `json:"workloads,omitempty"`
+	// Seeds repeats the grid per seed (empty: the scale's seed).
+	Seeds []uint64 `json:"seeds,omitempty"`
+	// Adversarial adds the per-scheme BlockHammer-collision workload to
+	// every (scheme, FlipTH) point (comparison only).
+	Adversarial bool `json:"adversarial,omitempty"`
+	// Grid is the configgrid FlipTH → RFMTH-list pairing.
+	Grid []GridLevel `json:"grid,omitempty"`
+	// Configs are the adth operating points.
+	Configs []ConfigPoint `json:"configs,omitempty"`
+	// AdTHs is the adaptive-refresh threshold sweep (adth only; 0 means
+	// adaptive refresh disabled).
+	AdTHs []int `json:"adths,omitempty"`
+}
+
+// Spec is one declarative experiment: a named grid over the axes at a
+// scale, with an optional output-column selection.
+type Spec struct {
+	Name string `json:"name"`
+	// Title is the human table header ("=== Title ===" in table output).
+	Title string    `json:"title,omitempty"`
+	Kind  Kind      `json:"kind"`
+	Scale ScaleSpec `json:"scale"`
+	Axes  Axes      `json:"axes"`
+	// Columns selects and orders the emitted columns; empty means the
+	// kind's default set (which mirrors the CLI tables).
+	Columns []string `json:"columns,omitempty"`
+}
+
+// Parse decodes and validates one spec. Unknown JSON fields are errors, so
+// a typoed axis name fails loudly instead of silently shrinking the grid.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and validates a spec file from the filesystem.
+func Load(name string) (*Spec, error) {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return s, nil
+}
+
+// LoadFS reads and validates a spec from an fs.FS (the shipped specs are
+// embedded in the mithril package).
+func LoadFS(fsys fs.FS, name string) (*Spec, error) {
+	data, err := fs.ReadFile(fsys, name)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return s, nil
+}
+
+// LoadAll parses every *.json spec under dir, sorted by spec name, and
+// rejects duplicate names (two files claiming the same spec would make
+// name-based lookup ambiguous).
+func LoadAll(fsys fs.FS, dir string) ([]*Spec, error) {
+	files, err := fs.Glob(fsys, path.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]string{}
+	var specs []*Spec
+	for _, f := range files {
+		s, err := LoadFS(fsys, f)
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := seen[s.Name]; dup {
+			return nil, fmt.Errorf("spec %q: duplicate name (declared in both %s and %s)", s.Name, prev, f)
+		}
+		seen[s.Name] = f
+		specs = append(specs, s)
+	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
+	return specs, nil
+}
+
+// Validate checks the spec's axes against the kind's requirements and the
+// known scheme/workload/column names.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("spec: missing name")
+	}
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("spec %q: %s", s.Name, fmt.Sprintf(format, args...))
+	}
+	if _, err := s.Scale.Resolve(); err != nil {
+		return fail("%v", err)
+	}
+	if err := noDuplicates("schemes", s.Axes.Schemes); err != nil {
+		return fail("%v", err)
+	}
+	if err := noDuplicates("flipths", s.Axes.FlipTHs); err != nil {
+		return fail("%v", err)
+	}
+	if err := noDuplicates("workloads", s.Axes.Workloads); err != nil {
+		return fail("%v", err)
+	}
+	if err := noDuplicates("seeds", s.Axes.Seeds); err != nil {
+		return fail("%v", err)
+	}
+	if err := noDuplicates("adths", s.Axes.AdTHs); err != nil {
+		return fail("%v", err)
+	}
+	for _, sch := range s.Axes.Schemes {
+		if !knownScheme(sch) {
+			return fail("unknown scheme %q (known: %v)", sch, mitigation.Names())
+		}
+	}
+	switch s.Kind {
+	case Comparison:
+		if len(s.Axes.Schemes) == 0 {
+			return fail("comparison needs a non-empty schemes axis")
+		}
+		if len(s.Axes.Workloads) == 0 && !s.Axes.Adversarial {
+			return fail("comparison needs a non-empty workloads axis (or adversarial: true)")
+		}
+		for _, w := range s.Axes.Workloads {
+			if !knownComparisonWorkload(w) {
+				return fail("unknown workload %q (known: %v)", w, comparisonWorkloadNames())
+			}
+		}
+		if len(s.Axes.Grid) > 0 || len(s.Axes.Configs) > 0 || len(s.Axes.AdTHs) > 0 {
+			return fail("grid/configs/adths axes apply only to configgrid/adth kinds")
+		}
+	case SafetyKind:
+		if len(s.Axes.Schemes) == 0 {
+			return fail("safety needs a non-empty schemes axis")
+		}
+		if len(s.Axes.FlipTHs) == 0 {
+			return fail("safety needs a non-empty flipths axis")
+		}
+		if len(s.Axes.Workloads) == 0 {
+			return fail("safety needs a non-empty workloads axis (attack patterns)")
+		}
+		for _, w := range s.Axes.Workloads {
+			if _, ok := attackPatterns[w]; !ok {
+				return fail("unknown attack %q (known: %v)", w, attackPatternNames())
+			}
+		}
+		if s.Axes.Adversarial || len(s.Axes.Grid) > 0 || len(s.Axes.Configs) > 0 || len(s.Axes.AdTHs) > 0 {
+			return fail("safety accepts only schemes/flipths/workloads/seeds axes")
+		}
+	case ConfigGrid:
+		if len(s.Axes.Grid) == 0 {
+			return fail("configgrid needs a non-empty grid axis")
+		}
+		seenTH := map[int]bool{}
+		for _, lvl := range s.Axes.Grid {
+			if seenTH[lvl.FlipTH] {
+				return fail("grid: duplicate flipth %d", lvl.FlipTH)
+			}
+			seenTH[lvl.FlipTH] = true
+			if len(lvl.RFMTHs) == 0 {
+				return fail("grid: flipth %d has an empty rfmths list", lvl.FlipTH)
+			}
+			if err := noDuplicates(fmt.Sprintf("grid[flipth=%d].rfmths", lvl.FlipTH), lvl.RFMTHs); err != nil {
+				return fail("%v", err)
+			}
+		}
+		if len(s.Axes.Workloads) != 1 {
+			return fail("configgrid needs exactly one benign workload")
+		}
+		if _, ok := benignWorkloads[s.Axes.Workloads[0]]; !ok {
+			return fail("unknown workload %q (known: %v)", s.Axes.Workloads[0], benignWorkloadNames())
+		}
+		if len(s.Axes.Schemes) > 0 || len(s.Axes.FlipTHs) > 0 || s.Axes.Adversarial || len(s.Axes.Configs) > 0 || len(s.Axes.AdTHs) > 0 {
+			return fail("configgrid pairs mithril/mithril+ implicitly; only grid/workloads/seeds axes apply")
+		}
+	case AdTHSweep:
+		if len(s.Axes.Configs) == 0 {
+			return fail("adth needs a non-empty configs axis")
+		}
+		if len(s.Axes.AdTHs) == 0 {
+			return fail("adth needs a non-empty adths axis")
+		}
+		if len(s.Axes.Workloads) == 0 {
+			return fail("adth needs a non-empty workloads axis")
+		}
+		for _, w := range s.Axes.Workloads {
+			if _, ok := adthWorkloads[w]; !ok {
+				return fail("unknown workload %q (known: %v)", w, adthWorkloadNames())
+			}
+		}
+		if len(s.Axes.Schemes) > 0 || len(s.Axes.FlipTHs) > 0 || s.Axes.Adversarial || len(s.Axes.Grid) > 0 {
+			return fail("adth accepts only configs/adths/workloads/seeds axes")
+		}
+	default:
+		return fail("unknown kind %q (want one of %v)", s.Kind, kinds)
+	}
+	if _, err := s.columns(); err != nil {
+		return fail("%v", err)
+	}
+	return nil
+}
+
+// noDuplicates rejects repeated axis values: a doubled value would silently
+// double-count its cells in every aggregate.
+func noDuplicates[T comparable](axis string, vals []T) error {
+	seen := make(map[T]bool, len(vals))
+	for _, v := range vals {
+		if seen[v] {
+			return fmt.Errorf("%s: duplicate value %v", axis, v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+func knownScheme(name string) bool {
+	for _, n := range mitigation.Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Cell is one output row of the expanded grid, before any simulation runs.
+// Fields that do not apply to the kind stay zero. Comparison's "normal"
+// workload is one cell: its member workloads are simulated individually and
+// geomean-reduced into the single row.
+type Cell struct {
+	Seed        uint64
+	FlipTH      int
+	RFMTH       int
+	AdTH        int
+	Scheme      string
+	Workload    string
+	Adversarial bool
+}
+
+// Expand returns the output-row grid in deterministic emission order for
+// the scale sc (comparison specs without a flipths axis inherit the
+// scale's; configgrid cells whose (FlipTH, RFMTH) point is analytically
+// infeasible under Theorem 1 are excluded, so the returned cells pair
+// one-to-one with the rows a run emits). Expansion is pure: expanding
+// twice yields identical slices.
+func (s *Spec) Expand(sc Scale) []Cell {
+	seeds := s.Axes.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{sc.Seed}
+	}
+	var cells []Cell
+	switch s.Kind {
+	case Comparison:
+		flipths := s.Axes.FlipTHs
+		if len(flipths) == 0 {
+			flipths = sc.FlipTHs
+		}
+		for _, seed := range seeds {
+			for _, flipTH := range flipths {
+				for _, scheme := range s.Axes.Schemes {
+					for _, w := range s.Axes.Workloads {
+						cells = append(cells, Cell{Seed: seed, FlipTH: flipTH, Scheme: scheme, Workload: w})
+					}
+					if s.Axes.Adversarial {
+						cells = append(cells, Cell{Seed: seed, FlipTH: flipTH, Scheme: scheme, Adversarial: true,
+							Workload: "bh-adversarial/" + scheme})
+					}
+				}
+			}
+		}
+	case SafetyKind:
+		for _, seed := range seeds {
+			for _, flipTH := range s.Axes.FlipTHs {
+				for _, attack := range s.Axes.Workloads {
+					for _, scheme := range s.Axes.Schemes {
+						cells = append(cells, Cell{Seed: seed, FlipTH: flipTH, Scheme: scheme, Workload: attack})
+					}
+				}
+			}
+		}
+	case ConfigGrid:
+		for _, seed := range seeds {
+			for _, lvl := range s.Axes.Grid {
+				for _, rfmTH := range lvl.RFMTHs {
+					// The feasibility check is analytic (no simulation):
+					// Theorem 1 has no table size for some declared points.
+					if _, ok := analysis.Configure(sc.Params(), lvl.FlipTH, rfmTH, mitigation.DefaultAdTH, analysis.DoubleSidedBlast); !ok {
+						continue
+					}
+					cells = append(cells, Cell{Seed: seed, FlipTH: lvl.FlipTH, RFMTH: rfmTH,
+						Workload: s.Axes.Workloads[0]})
+				}
+			}
+		}
+	case AdTHSweep:
+		for _, seed := range seeds {
+			for _, cfg := range s.Axes.Configs {
+				for _, adTH := range s.Axes.AdTHs {
+					cells = append(cells, Cell{Seed: seed, FlipTH: cfg.FlipTH, RFMTH: cfg.RFMTH, AdTH: adTH})
+				}
+			}
+		}
+	}
+	return cells
+}

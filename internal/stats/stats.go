@@ -1,11 +1,15 @@
 // Package stats provides the small numeric and formatting helpers the
 // experiment harness uses: geometric means for workload aggregation (the
-// paper reports geo-means across workloads) and aligned text tables for the
-// CLI reports.
+// paper reports geo-means across workloads), aligned text tables for the
+// CLI reports, and the CSV/JSON writers behind the machine-readable
+// experiment output.
 package stats
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"strings"
 )
@@ -94,4 +98,59 @@ func (t *Table) String() string {
 		writeRow(row)
 	}
 	return b.String()
+}
+
+// DiffLines reports pairwise line differences between two texts (want vs
+// got), one "line N / want / got" block per divergent line. The golden
+// equivalence tests and the CLI's spec-vs-golden diff both render
+// mismatches with it.
+func DiffLines(want, got string) string {
+	w := strings.Split(want, "\n")
+	g := strings.Split(got, "\n")
+	var b strings.Builder
+	n := len(w)
+	if len(g) > n {
+		n = len(g)
+	}
+	for i := 0; i < n; i++ {
+		var wl, gl string
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if wl != gl {
+			fmt.Fprintf(&b, "line %d:\n  want: %s\n  got:  %s\n", i+1, wl, gl)
+		}
+	}
+	return b.String()
+}
+
+// WriteCSV emits an RFC 4180 CSV document: one header record followed by
+// the data rows (cells are quoted only where the encoding requires it).
+func WriteCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits v as indented JSON with a trailing newline — the
+// machine-readable counterpart to Table's human output.
+func WriteJSON(w io.Writer, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
 }

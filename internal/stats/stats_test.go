@@ -1,6 +1,9 @@
 package stats
 
 import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -70,5 +73,41 @@ func TestTableNoTrailingWhitespace(t *testing.T) {
 		if strings.TrimRight(l, " \t") != l {
 			t.Errorf("line %d has trailing whitespace: %q", i, l)
 		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, []string{"a", "b"}, [][]string{
+		{"1", "plain"},
+		{"2", `needs "quoting", really`},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output does not parse back: %v", err)
+	}
+	if len(records) != 3 || records[0][0] != "a" || records[2][1] != `needs "quoting", really` {
+		t.Errorf("round-trip = %v", records)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, map[string]any{"rows": []int{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("missing trailing newline")
+	}
+	var back map[string][]int
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("output does not parse back: %v", err)
+	}
+	if len(back["rows"]) != 2 {
+		t.Errorf("round-trip = %v", back)
 	}
 }

@@ -24,6 +24,7 @@ package mithril
 
 import (
 	"mithril/internal/analysis"
+	"mithril/internal/expspec"
 	"mithril/internal/mc"
 	"mithril/internal/mitigation"
 	"mithril/internal/sim"
@@ -122,6 +123,38 @@ func BoundM(p TimingParams, nEntry, rfmTH int) float64 {
 // BoundMPrime evaluates the Theorem 2 bound (adaptive refresh).
 func BoundMPrime(p TimingParams, nEntry, rfmTH, adTH int) float64 {
 	return analysis.BoundMPrime(p, nEntry, rfmTH, adTH)
+}
+
+// ExperimentSpec is a declarative experiment description: a named grid
+// over scheme × FlipTH × workload × seed (× adversarial flag) at a scale,
+// the JSON format the shipped specs/*.json figures use. See the README's
+// "Declarative experiment specs" section for the format.
+type ExperimentSpec = expspec.Spec
+
+// ExperimentResult holds an executed spec's rows; Emit renders it as a
+// human table or machine-readable JSON/CSV/golden rows.
+type ExperimentResult = expspec.Result
+
+// Output formats for ExperimentResult.Emit.
+const (
+	FormatTable  = expspec.FormatTable
+	FormatJSON   = expspec.FormatJSON
+	FormatCSV    = expspec.FormatCSV
+	FormatGolden = expspec.FormatGolden
+)
+
+// ParseSpec decodes and validates a declarative experiment spec (unknown
+// schemes, workloads, columns, axes, and JSON fields are errors). Execute
+// it with Run (the spec's own scale) or RunAt.
+func ParseSpec(data []byte) (*ExperimentSpec, error) { return expspec.Parse(data) }
+
+// LoadSpec reads and validates a spec file from disk.
+func LoadSpec(path string) (*ExperimentSpec, error) { return expspec.Load(path) }
+
+// LoadShippedSpec loads one embedded spec by name (e.g. "figure10.quick";
+// see SpecsFS for the inventory).
+func LoadShippedSpec(name string) (*ExperimentSpec, error) {
+	return expspec.LoadFS(specsFS, "specs/"+name+".json")
 }
 
 // MixHigh and friends re-export the paper's workloads.
