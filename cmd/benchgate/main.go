@@ -153,8 +153,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchgate: %v\n", err)
 		return 2
 	}
+	if len(current) == 0 {
+		fmt.Fprintf(stderr, "benchgate: no benchmark lines in %s — did the bench run produce output (check the -bench filter)?\n", inputPath)
+		return 2
+	}
 	data, err := os.ReadFile(historyPath)
 	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Fprintf(stderr, "benchgate: history file %s does not exist — the gate has no baseline to compare against (record a point per the regeneration command in the json, or pass -history)\n", historyPath)
+			return 2
+		}
 		fmt.Fprintf(stderr, "benchgate: %v\n", err)
 		return 2
 	}
@@ -164,10 +172,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if len(h.Points) == 0 {
-		fmt.Fprintf(stderr, "benchgate: %s has no points\n", historyPath)
+		fmt.Fprintf(stderr, "benchgate: %s has no recorded points — the gate has no baseline to compare against\n", historyPath)
 		return 2
 	}
 	latest := h.Points[len(h.Points)-1]
+	if len(latest.Benchmarks) == 0 {
+		fmt.Fprintf(stderr, "benchgate: latest point %q in %s records no benchmarks — the gate has no baseline to compare against\n", latest.Label, historyPath)
+		return 2
+	}
 	baseline := map[string]float64{}
 	for name, p := range latest.Benchmarks {
 		baseline[name] = p.NsOp

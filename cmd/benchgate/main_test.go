@@ -122,3 +122,67 @@ func TestRunFailsWithNoMatches(t *testing.T) {
 		t.Errorf("run = %d, want 2 (nothing matched)", code)
 	}
 }
+
+// runStderr captures run's exit code and stderr for the message tests.
+func runStderr(args []string) (int, string) {
+	var buf strings.Builder
+	code := run(args, io.Discard, &buf)
+	return code, buf.String()
+}
+
+func TestRunFailsClearlyOnMissingHistory(t *testing.T) {
+	bench := writeBench(t, sampleBench)
+	missing := filepath.Join(t.TempDir(), "BENCH_nope.json")
+	code, msg := runStderr([]string{"-input", bench, "-history", missing})
+	if code != 2 {
+		t.Fatalf("run = %d, want 2", code)
+	}
+	if !strings.Contains(msg, "does not exist") || !strings.Contains(msg, missing) {
+		t.Errorf("missing-history message not actionable: %q", msg)
+	}
+}
+
+func TestRunFailsClearlyOnEmptyHistory(t *testing.T) {
+	bench := writeBench(t, sampleBench)
+	for name, content := range map[string]string{
+		"no points":     `{"series": "s", "points": []}`,
+		"no benchmarks": `{"series": "s", "points": [{"date": "2026-07-28", "label": "empty", "benchmarks": {}}]}`,
+	} {
+		hist := filepath.Join(t.TempDir(), "BENCH_empty.json")
+		if err := os.WriteFile(hist, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		code, msg := runStderr([]string{"-input", bench, "-history", hist})
+		if code != 2 {
+			t.Fatalf("%s: run = %d, want 2", name, code)
+		}
+		if !strings.Contains(msg, "no baseline to compare against") {
+			t.Errorf("%s: message not actionable: %q", name, msg)
+		}
+	}
+}
+
+func TestRunFailsClearlyOnEmptyBenchInput(t *testing.T) {
+	hist := writeHistory(t)
+	bench := writeBench(t, "PASS\nok mithril 1.2s\n") // a run with no benchmark lines
+	code, msg := runStderr([]string{"-input", bench, "-history", hist})
+	if code != 2 {
+		t.Fatalf("run = %d, want 2", code)
+	}
+	if !strings.Contains(msg, "no benchmark lines") {
+		t.Errorf("empty-input message not actionable: %q", msg)
+	}
+}
+
+func TestToleranceFlagDefault(t *testing.T) {
+	hist := writeHistory(t)
+	// +40% regresses under the default ±30% tolerance but passes at 0.50.
+	slow := strings.Replace(sampleBench, "1400000000 ns/op", "1870000000 ns/op", 1)
+	bench := writeBench(t, slow)
+	if code := run([]string{"-input", bench, "-history", hist}, io.Discard, io.Discard); code != 1 {
+		t.Errorf("default tolerance: run = %d, want 1", code)
+	}
+	if code := run([]string{"-input", bench, "-history", hist, "-tolerance", "0.50"}, io.Discard, io.Discard); code != 0 {
+		t.Errorf("widened tolerance: run = %d, want 0", code)
+	}
+}

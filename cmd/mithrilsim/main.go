@@ -1,13 +1,18 @@
 // Command mithrilsim regenerates every table and figure of the Mithril
-// paper's evaluation (HPCA 2022) from the reproduction library, and runs
-// arbitrary declarative experiment specs.
+// paper's evaluation (HPCA 2022) from the reproduction library, runs
+// arbitrary declarative experiment specs, and serves them over HTTP.
 //
 // Usage:
 //
 //	mithrilsim <command> [args] [-full] [-flipth N] [-jobs N] [-format F]
+//	           [-timeout D] [-addr HOST:PORT]
 //
-// Simulation sweeps fan out over -jobs workers (default: all cores);
-// -jobs 1 forces the serial path. Parallel and serial runs print
+// Everything runs on one mithril.Engine: simulation sweeps fan out over
+// -jobs workers (default: all cores; -jobs 1 forces the serial path),
+// -timeout bounds the whole invocation (the sweep cancels cooperatively
+// and aborts mid-simulation), and Ctrl-C cancels the same way. When
+// stderr is a terminal, sweeps render live per-grid-point progress there;
+// stdout output is unaffected. Parallel and serial runs print
 // byte-identical output. Simulation commands accept -format
 // table|json|csv|golden (table is the human default; json/csv are
 // machine-readable rows; golden is the raw full-precision line format the
@@ -30,18 +35,23 @@
 //	list      list the shipped experiment specs
 //	diff      run a spec and diff its golden-format output against a file:
 //	          diff <spec.json | shipped-name> <golden.txt>
+//	serve     HTTP service: POST /run streams a spec's rows as NDJSON
 //
 // The figure7/9/10/11 and safety commands are themselves spec-backed: they
 // run the shipped specs/*.json grids (quick or, with -full, full variants).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"mithril"
 	"mithril/internal/expspec"
@@ -50,10 +60,12 @@ import (
 
 // env carries the parsed global flags into command handlers.
 type env struct {
-	full   bool
-	flipTH int
-	jobs   int
-	format string
+	full    bool
+	flipTH  int
+	jobs    int
+	format  string
+	timeout time.Duration
+	addr    string
 }
 
 // scale resolves the -full flag into the experiment scale.
@@ -66,6 +78,36 @@ func (e env) scale() mithril.Scale {
 	return sc
 }
 
+// engine builds the Engine every command runs on: the -jobs worker count
+// plus live progress on stderr (when it is a terminal) under the given
+// label.
+func (e env) engine(label string) *mithril.Engine {
+	opts := []mithril.EngineOption{}
+	if e.jobs != 0 {
+		opts = append(opts, mithril.WithJobs(e.jobs))
+	}
+	if p := stderrProgress(label); p != nil {
+		opts = append(opts, mithril.WithProgress(p))
+	}
+	return mithril.NewEngine(mithril.DDR5(), opts...)
+}
+
+// stderrProgress renders live per-grid-point progress on stderr when it is
+// a terminal; piped/CI stderr stays clean. The line is redrawn in place
+// and finished with a newline on the last point.
+func stderrProgress(label string) mithril.ProgressFunc {
+	fi, err := os.Stderr.Stat()
+	if err != nil || fi.Mode()&os.ModeCharDevice == 0 {
+		return nil
+	}
+	return func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\r%s: %d/%d grid points", label, done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+}
+
 // command is one CLI subcommand. Dispatch, the usage line, and the `all`
 // sequence all derive from this single ordered table, so a new subcommand
 // cannot appear in one and silently drop out of another.
@@ -74,18 +116,18 @@ type command struct {
 	args  string // positional-argument usage, e.g. "<spec.json>"
 	nargs int    // required positional count
 	inAll bool   // part of the `all` sequence
-	run   func(e env, args []string) error
+	run   func(ctx context.Context, e env, args []string) error
 }
 
 // commands is ordered as `all` executes: analytic figures first, then the
 // simulation sweeps (cheapest to most expensive), then the spec tooling
-// (excluded from `all`: run/diff need arguments).
+// (excluded from `all`: run/diff need arguments, serve never returns).
 var commands = []command{
-	{name: "figure2", inAll: true, run: func(e env, _ []string) error { return figure2() }},
-	{name: "figure6", inAll: true, run: func(e env, _ []string) error { return figure6() }},
-	{name: "figure8", inAll: true, run: func(e env, _ []string) error { return figure8() }},
-	{name: "table4", inAll: true, run: func(e env, _ []string) error { return table4() }},
-	{name: "parfm", inAll: true, run: func(e env, _ []string) error { return parfm() }},
+	{name: "figure2", inAll: true, run: func(_ context.Context, e env, _ []string) error { return figure2() }},
+	{name: "figure6", inAll: true, run: func(_ context.Context, e env, _ []string) error { return figure6() }},
+	{name: "figure8", inAll: true, run: func(_ context.Context, e env, _ []string) error { return figure8() }},
+	{name: "table4", inAll: true, run: func(_ context.Context, e env, _ []string) error { return table4() }},
+	{name: "parfm", inAll: true, run: func(_ context.Context, e env, _ []string) error { return parfm() }},
 	{name: "figure7", inAll: true, run: specFigure("figure7")},
 	{name: "figure9", inAll: true, run: specFigure("figure9")},
 	{name: "figure10", inAll: true, run: specFigure("figure10")},
@@ -94,6 +136,7 @@ var commands = []command{
 	{name: "run", args: "<spec.json>", nargs: 1, run: runCmd},
 	{name: "list", run: listCmd},
 	{name: "diff", args: "<spec.json> <golden.txt>", nargs: 2, run: diffCmd},
+	{name: "serve", run: serveCmd},
 }
 
 func usage() {
@@ -116,6 +159,8 @@ func main() {
 	flipTH := flag.Int("flipth", 2000, "FlipTH for the safety sweep")
 	jobs := flag.Int("jobs", 0, "sweep worker count (0 = all cores, 1 = serial)")
 	format := flag.String("format", expspec.FormatTable, "output format: table, json, csv, or golden")
+	timeout := flag.Duration("timeout", 0, "abort the whole invocation after this duration (0 = none)")
+	addr := flag.String("addr", "localhost:8377", "listen address for the serve command")
 	flag.Usage = usage
 	if len(os.Args) < 2 {
 		flag.Usage()
@@ -141,7 +186,18 @@ func main() {
 		pos = append(pos, rest[0])
 		rest = rest[1:]
 	}
-	e := env{full: *full, flipTH: *flipTH, jobs: *jobs, format: *format}
+	e := env{full: *full, flipTH: *flipTH, jobs: *jobs, format: *format, timeout: *timeout, addr: *addr}
+
+	// One root context governs the whole invocation: -timeout bounds it,
+	// Ctrl-C / SIGTERM cancel it, and every sweep (and every in-flight
+	// simulation) aborts cooperatively when it is done.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if e.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.timeout)
+		defer cancel()
+	}
 
 	if cmd == "all" {
 		if len(pos) > 0 {
@@ -153,7 +209,7 @@ func main() {
 			if !c.inAll {
 				continue
 			}
-			if err := c.run(e, nil); err != nil {
+			if err := c.run(ctx, e, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", c.name, err)
 				os.Exit(1)
 			}
@@ -169,7 +225,7 @@ func main() {
 			flag.Usage()
 			os.Exit(2)
 		}
-		if err := c.run(e, pos); err != nil {
+		if err := c.run(ctx, e, pos); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", c.name, err)
 			os.Exit(1)
 		}
@@ -208,8 +264,8 @@ func shippedSpec(arg string) (*expspec.Spec, error) {
 }
 
 // specFigure backs a figure command with its shipped quick/full spec.
-func specFigure(base string) func(e env, _ []string) error {
-	return func(e env, _ []string) error {
+func specFigure(base string) func(ctx context.Context, e env, _ []string) error {
+	return func(ctx context.Context, e env, _ []string) error {
 		variant := "quick"
 		if e.full {
 			variant = "full"
@@ -218,7 +274,7 @@ func specFigure(base string) func(e env, _ []string) error {
 		if err != nil {
 			return err
 		}
-		res, err := sp.RunAt(e.scale())
+		res, err := e.engine(base).RunSpecAt(ctx, sp, e.scale())
 		if err != nil {
 			return err
 		}
@@ -227,7 +283,7 @@ func specFigure(base string) func(e env, _ []string) error {
 }
 
 // safetyCmd runs the shipped safety spec with the -flipth override.
-func safetyCmd(e env, _ []string) error {
+func safetyCmd(ctx context.Context, e env, _ []string) error {
 	variant := "quick"
 	if e.full {
 		variant = "full"
@@ -238,7 +294,7 @@ func safetyCmd(e env, _ []string) error {
 	}
 	sp.Axes.FlipTHs = []int{e.flipTH}
 	sp.Title = fmt.Sprintf("Safety sweep — full-simulator attacks at FlipTH=%d", e.flipTH)
-	res, err := sp.RunAt(e.scale())
+	res, err := e.engine("safety").RunSpecAt(ctx, sp, e.scale())
 	if err != nil {
 		return err
 	}
@@ -246,17 +302,12 @@ func safetyCmd(e env, _ []string) error {
 }
 
 // runCmd executes an arbitrary experiment spec at the spec's own scale.
-func runCmd(e env, args []string) error {
+func runCmd(ctx context.Context, e env, args []string) error {
 	sp, err := shippedSpec(args[0])
 	if err != nil {
 		return err
 	}
-	sc, err := sp.Scale.Resolve()
-	if err != nil {
-		return err
-	}
-	sc.Jobs = e.jobs
-	res, err := sp.RunAt(sc)
+	res, err := e.engine(sp.Name).RunSpec(ctx, sp)
 	if err != nil {
 		return err
 	}
@@ -264,7 +315,7 @@ func runCmd(e env, args []string) error {
 }
 
 // listCmd prints the shipped spec inventory.
-func listCmd(e env, _ []string) error {
+func listCmd(_ context.Context, e env, _ []string) error {
 	specs, err := expspec.LoadAll(mithril.SpecsFS(), "specs")
 	if err != nil {
 		return err
@@ -285,7 +336,7 @@ func listCmd(e env, _ []string) error {
 // diffCmd runs a spec and compares its golden-format output against a
 // pinned file (the CI golden-figures gate); any divergence is printed
 // line-by-line and fails the command.
-func diffCmd(e env, args []string) error {
+func diffCmd(ctx context.Context, e env, args []string) error {
 	sp, err := shippedSpec(args[0])
 	if err != nil {
 		return err
@@ -294,12 +345,7 @@ func diffCmd(e env, args []string) error {
 	if err != nil {
 		return err
 	}
-	sc, err := sp.Scale.Resolve()
-	if err != nil {
-		return err
-	}
-	sc.Jobs = e.jobs
-	res, err := sp.RunAt(sc)
+	res, err := e.engine(sp.Name).RunSpec(ctx, sp)
 	if err != nil {
 		return err
 	}

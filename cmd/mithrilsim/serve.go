@@ -1,0 +1,135 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"mithril"
+	"mithril/internal/expspec"
+)
+
+// maxSpecBytes bounds a POSTed spec body; real specs are a few hundred
+// bytes, so anything near the limit is a mistake or an attack, not a grid.
+const maxSpecBytes = 1 << 20
+
+// serveCmd runs the HTTP service: the first service-shaped consumer of the
+// Engine API. POST /run takes a spec document and streams its output rows
+// back as NDJSON while the sweep executes; a client that disconnects
+// mid-sweep cancels the workers through the request context. GET /healthz
+// reports readiness and GET /schemes the open mitigation registry.
+func serveCmd(ctx context.Context, e env, _ []string) error {
+	srv := &http.Server{
+		Addr:    e.addr,
+		Handler: newServeHandler(e),
+		// Root every request context in the CLI's signal/timeout context:
+		// Ctrl-C cancels in-flight sweeps exactly like a client disconnect.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutCtx)
+	}()
+	fmt.Fprintf(os.Stderr, "mithrilsim: serving on http://%s (POST /run)\n", e.addr)
+	err := srv.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// newServeHandler builds the service mux. Split from serveCmd so tests
+// drive it through httptest without binding the CLI's listen address.
+func newServeHandler(e env) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/schemes", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(mithril.SchemeNames())
+	})
+	mux.HandleFunc("/run", func(w http.ResponseWriter, r *http.Request) { handleRun(e, w, r) })
+	return mux
+}
+
+// ndjsonError is the terminal error line of an aborted stream. NDJSON has
+// no trailer channel, so an error after rows have been sent arrives as a
+// final object with an "error" key — consumers distinguish it from data
+// rows by that key, and by the connection closing right after.
+type ndjsonError struct {
+	Error string `json:"error"`
+}
+
+// handleRun parses the POSTed spec, executes it on the request's Engine,
+// and streams each completed row as one NDJSON line. The request context
+// is the cancellation root: client disconnect (or server shutdown) stops
+// the sweep's workers mid-simulation.
+func handleRun(e env, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a spec document to /run", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("reading spec: %v", err), http.StatusBadRequest)
+		return
+	}
+	sp, err := expspec.Parse(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sc, err := sp.Scale.Resolve()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Spec-Name", sp.Name)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	// No terminal progress renderer here: concurrent requests would
+	// interleave redraw lines (labelled with client-supplied spec names)
+	// on the operator's terminal. The -jobs override comes in through
+	// WithJobs; otherwise the spec's resolved scale governs.
+	var opts []mithril.EngineOption
+	if e.jobs != 0 {
+		opts = append(opts, mithril.WithJobs(e.jobs))
+	}
+	eng := mithril.NewEngine(mithril.DDR5(), opts...)
+	for row, err := range eng.StreamAt(r.Context(), sp, sc) {
+		if err != nil {
+			// Rows may already be on the wire; the status is committed.
+			// Emit the NDJSON error line unless the client is the reason
+			// we are stopping (its connection is gone anyway).
+			if r.Context().Err() == nil {
+				_ = enc.Encode(ndjsonError{Error: err.Error()})
+			}
+			return
+		}
+		vals, err := sp.RowValues(sc, row)
+		if err != nil {
+			_ = enc.Encode(ndjsonError{Error: err.Error()})
+			return
+		}
+		// Echo the grid position so streaming consumers can reassemble
+		// deterministic order without re-deriving the expansion.
+		vals["row"] = row.Index
+		if err := enc.Encode(vals); err != nil {
+			return // client went away mid-write
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testSpec is a tiny comparison grid: 2 rows, fast enough for unit tests.
+const testSpec = `{
+  "name": "serve-test",
+  "kind": "comparison",
+  "scale": {"preset": "quick", "cores": 2, "instr_per_core": 400},
+  "axes": {
+    "schemes": ["none", "mithril"],
+    "flipths": [6250],
+    "workloads": ["mix-high"]
+  }
+}`
+
+// slowSpec is the same grid repeated over many seeds with a much larger
+// instruction budget: long enough that a client disconnect lands mid-sweep.
+const slowSpec = `{
+  "name": "serve-slow",
+  "kind": "comparison",
+  "scale": {"preset": "quick", "cores": 2, "instr_per_core": 400000},
+  "axes": {
+    "schemes": ["none", "mithril"],
+    "flipths": [6250],
+    "workloads": ["mix-high"],
+    "seeds": [1, 2, 3, 4, 5, 6, 7, 8]
+  }
+}`
+
+func TestServeRunStreamsNDJSON(t *testing.T) {
+	ts := httptest.NewServer(newServeHandler(env{jobs: 2}))
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(testSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	seenRows := map[float64]bool{}
+	for sc.Scan() {
+		var row map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if msg, isErr := row["error"]; isErr {
+			t.Fatalf("stream reported error: %v", msg)
+		}
+		for _, key := range []string{"scheme", "flipth", "workload", "perf", "row"} {
+			if _, ok := row[key]; !ok {
+				t.Fatalf("row missing %q: %v", key, row)
+			}
+		}
+		seenRows[row["row"].(float64)] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// The 2-cell grid must stream exactly rows 0 and 1.
+	if len(seenRows) != 2 || !seenRows[0] || !seenRows[1] {
+		t.Fatalf("row indices = %v, want {0, 1}", seenRows)
+	}
+}
+
+func TestServeRunRejectsBadRequests(t *testing.T) {
+	ts := httptest.NewServer(newServeHandler(env{}))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /run status = %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/run", "application/json", strings.NewReader(`{"name":`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed spec status = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/run", "application/json",
+		strings.NewReader(`{"name":"x","kind":"comparison","scale":{"preset":"quick"},"axes":{"schemes":["bogus"],"workloads":["mix-high"]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown-scheme spec status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServeHealthAndSchemes(t *testing.T) {
+	ts := httptest.NewServer(newServeHandler(env{}))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp, err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/schemes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	if err := json.NewDecoder(resp.Body).Decode(&names); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(names) == 0 || names[0] != "blockhammer" {
+		t.Fatalf("schemes = %v, want the sorted registry", names)
+	}
+}
+
+// TestServeClientDisconnectCancelsSweep pins the service's cancellation
+// contract: a client that walks away mid-sweep stops the workers (observed
+// as the goroutine count settling back to its pre-request level) instead
+// of leaving the grid running to completion against a dead connection.
+func TestServeClientDisconnectCancelsSweep(t *testing.T) {
+	ts := httptest.NewServer(newServeHandler(env{jobs: 2}))
+	defer ts.Close()
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/run", strings.NewReader(slowSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read the first streamed row so the sweep is demonstrably mid-flight,
+	// then sever the connection.
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no first row before disconnect: %v", sc.Err())
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The handler's stream must unwind: workers exit, the handler returns,
+	// and the goroutine count returns to the pre-request level.
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("workers never stopped after disconnect: %d goroutines > baseline %d",
+		runtime.NumGoroutine(), baseline)
+}

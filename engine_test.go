@@ -1,0 +1,188 @@
+package mithril
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// tinySpec is a comparison grid small enough for unit tests.
+const tinySpec = `{
+  "name": "engine-tiny",
+  "kind": "comparison",
+  "scale": {"preset": "quick", "cores": 2, "instr_per_core": 400},
+  "axes": {
+    "schemes": ["none", "mithril"],
+    "flipths": [6250],
+    "workloads": ["mix-high"]
+  }
+}`
+
+func parseTinySpec(t *testing.T) *ExperimentSpec {
+	t.Helper()
+	sp, err := ParseSpec([]byte(tinySpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// TestEngineRunSpecMatchesSpecRun pins that the Engine path is a pure
+// re-plumbing: the same spec produces identical rows through the Engine
+// and through the spec's own Run.
+func TestEngineRunSpecMatchesSpecRun(t *testing.T) {
+	sp := parseTinySpec(t)
+	direct, err := sp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(DDR5(), WithJobs(2))
+	viaEngine, err := eng.RunSpec(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct.Perf, viaEngine.Perf) {
+		t.Errorf("engine path diverges:\ndirect: %v\nengine: %v", direct.Perf, viaEngine.Perf)
+	}
+}
+
+// TestEngineStreamMatchesRunSpec pins the streaming guarantee at the
+// public surface: reassembling Stream's rows by Index reproduces RunSpec.
+func TestEngineStreamMatchesRunSpec(t *testing.T) {
+	sp := parseTinySpec(t)
+	eng := NewEngine(DDR5(), WithJobs(2))
+	batch, err := eng.RunSpec(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]PerfPoint, len(batch.Perf))
+	rows := 0
+	for row, err := range eng.Stream(context.Background(), sp) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[row.Index] = *row.Perf
+		rows++
+	}
+	if rows != len(batch.Perf) {
+		t.Fatalf("streamed %d rows, want %d", rows, len(batch.Perf))
+	}
+	if !reflect.DeepEqual(got, batch.Perf) {
+		t.Errorf("stream != batch:\nstream: %v\nbatch:  %v", got, batch.Perf)
+	}
+}
+
+func TestEngineRunDefaultsParams(t *testing.T) {
+	eng := NewEngine(DDR5())
+	sc := tinyScale()
+	cfg := baseSimConfig(6250, sc)
+	cfg.Params = TimingParams{} // Engine must fill in its own
+	cfg.Workload = MixHigh(2, 1).Fresh()
+	cfg.InstrPerCore = 400
+	res, err := eng.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AggregateIPC <= 0 {
+		t.Fatalf("aggregate IPC = %v", res.AggregateIPC)
+	}
+}
+
+func TestEngineCompareMatchesDeprecatedShim(t *testing.T) {
+	build := func() (SimConfig, Scheme) {
+		s, err := NewScheme("mithril", SchemeOptions{Timing: DDR5(), FlipTH: 6250})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := tinyScale()
+		cfg := baseSimConfig(6250, sc)
+		cfg.InstrPerCore = 1000
+		return cfg, s
+	}
+	cfg, s := build()
+	eng := NewEngine(DDR5())
+	a, err := eng.Compare(context.Background(), cfg, MixHigh(4, 1), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2, s2 := build()
+	// Deprecated shim, exercised deliberately: it must stay equivalent.
+	b, err := Compare(cfg2, MixHigh(4, 1), s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RelativePerformance != b.RelativePerformance {
+		t.Errorf("shim diverges: %v vs %v", a.RelativePerformance, b.RelativePerformance)
+	}
+}
+
+func TestEngineStreamCancelStopsWorkers(t *testing.T) {
+	sp := parseTinySpec(t)
+	sp.Axes.Seeds = []uint64{1, 2, 3, 4, 5, 6}
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	eng := NewEngine(DDR5(), WithJobs(2))
+	rows := 0
+	var sawErr error
+	for _, err := range eng.Stream(ctx, sp) {
+		if err != nil {
+			sawErr = err
+			continue
+		}
+		rows++
+		if rows == 2 {
+			cancel()
+		}
+	}
+	if !errors.Is(sawErr, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", sawErr)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline {
+		t.Fatalf("leaked goroutines: %d > %d", g, baseline)
+	}
+}
+
+func TestEngineProgressAndBaselineCache(t *testing.T) {
+	sp := parseTinySpec(t)
+	var calls int
+	eng := NewEngine(DDR5(), WithJobs(1), WithBaselineCache(),
+		WithProgress(func(done, total int) { calls++ }))
+	a, err := eng.RunSpec(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(a.Perf) {
+		t.Fatalf("progress calls = %d, want %d", calls, len(a.Perf))
+	}
+	// Second run through the same Engine shares baselines and must agree.
+	b, err := eng.RunSpec(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Perf, b.Perf) {
+		t.Errorf("warm engine run diverges: %v vs %v", a.Perf, b.Perf)
+	}
+}
+
+func TestErrUnknownSchemeSurface(t *testing.T) {
+	_, err := NewScheme("not-a-scheme", SchemeOptions{Timing: DDR5(), FlipTH: 6250})
+	if !errors.Is(err, ErrUnknownScheme) {
+		t.Fatalf("err = %v, want ErrUnknownScheme", err)
+	}
+}
+
+// TestSchemeNamesSorted pins the public ordering guarantee.
+func TestSchemeNamesSorted(t *testing.T) {
+	want := []string{"blockhammer", "cbt", "graphene", "mithril", "mithril+", "none", "para", "parfm", "twice"}
+	if got := SchemeNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("SchemeNames() = %v, want sorted %v", got, want)
+	}
+}

@@ -1,17 +1,23 @@
 // Quickstart: size a Mithril counter table with Theorem 1, then run a
 // declarative experiment spec — the same JSON format the shipped
-// specs/*.json figures use — comparing Mithril against PARFM on a benign
-// workload, and print the human table plus machine-readable CSV rows.
+// specs/*.json figures use — through a mithril.Engine, comparing Mithril
+// against PARFM on a benign workload, and print the human table plus
+// machine-readable CSV rows.
 //
-// New scenarios are new spec files, not new code: edit the axes below (or
-// point `mithrilsim run` at a .json file) to change the scheme subset,
-// FlipTH grid, workloads, or seeds.
+// The Engine is the context-aware entry point: construct it once with
+// functional options (worker count, progress hook, shared baseline cache)
+// and drive every run through it. Ctrl-C cancels the sweep mid-simulation
+// via the context. New scenarios are new spec files, not new code: edit
+// the axes below (or point `mithrilsim run` at a .json file) to change
+// the scheme subset, FlipTH grid, workloads, or seeds.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"mithril"
 )
@@ -31,6 +37,10 @@ const spec = `{
 }`
 
 func main() {
+	// Ctrl-C cancels the context; the Engine aborts in-flight simulations.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	p := mithril.DDR5()
 	const flipTH = 6250 // the paper's "recently observed" threshold
 
@@ -44,12 +54,22 @@ func main() {
 		mithril.BoundM(p, cfg.NEntry, cfg.RFMTH), flipTH/2)
 
 	// Parse + validate the spec (unknown schemes, workloads, or axes fail
-	// here, before any simulation runs), then execute its grid.
+	// here, before any simulation runs).
 	sp, err := mithril.ParseSpec([]byte(spec))
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sp.Run()
+
+	// One Engine, configured once: all cores, per-grid-point progress.
+	eng := mithril.NewEngine(p,
+		mithril.WithProgress(func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d grid points", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}),
+	)
+	res, err := eng.RunSpec(ctx, sp)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,5 +82,22 @@ func main() {
 	fmt.Println("\nmachine-readable (CSV; mithril.FormatJSON for a document):")
 	if err := res.Emit(os.Stdout, mithril.FormatCSV); err != nil {
 		log.Fatal(err)
+	}
+
+	// Streaming: the same grid again, but rows arrive as workers finish
+	// them (completion order — Row.Index is the grid position). This is
+	// what `mithrilsim serve` sends a client as NDJSON.
+	fmt.Println("\nstreaming (completion order):")
+	sc, _ := sp.Scale.Resolve()
+	for row, err := range eng.Stream(ctx, sp) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		vals, err := sp.RowValues(sc, row)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  row %d: %s flipTH=%v perf=%.2f%%\n",
+			row.Index, vals["scheme"], vals["flipth"], row.Perf.RelativePerformance)
 	}
 }

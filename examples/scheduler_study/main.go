@@ -1,16 +1,27 @@
 // Scheduler study: how the memory scheduling policy and page policy
 // interact with Mithril's RFM traffic — an ablation the paper fixes to
 // BLISS + minimalist-open (Table III) but that the simulator can vary.
+//
+// The grid fans out with mithril.RunParallelContext and each cell runs
+// through one shared mithril.Engine: every pairing is an independent pair
+// of simulations, and the study cancels cleanly (Ctrl-C) mid-cell because
+// the context reaches all the way into the simulator loop.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"mithril"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	p := mithril.DDR5()
 	const flipTH = 3125
 
@@ -21,8 +32,9 @@ func main() {
 	fmt.Printf("%-10s %-17s %12s %12s %14s\n", "scheduler", "page policy", "rel perf %", "energy +%", "baseline IPC")
 
 	// Each grid cell is an independent pair of simulations: fan them out
-	// over all cores with the library's sweep engine. Results come back
-	// in grid order, so the table prints exactly as a serial loop would.
+	// over all cores. Results come back in grid order, so the table
+	// prints exactly as a serial loop would; the first error (or Ctrl-C)
+	// cancels the cells still running.
 	type cell struct {
 		sched mithril.SchedulerKind
 		pol   mithril.PagePolicy
@@ -33,7 +45,8 @@ func main() {
 			cells = append(cells, cell{sched, pol})
 		}
 	}
-	results, err := mithril.RunParallel(0, len(cells), func(i int) (mithril.Comparison, error) {
+	eng := mithril.NewEngine(p)
+	results, err := mithril.RunParallelContext(ctx, 0, len(cells), func(ctx context.Context, i int) (mithril.Comparison, error) {
 		scheme, err := mithril.NewScheme("mithril", mithril.SchemeOptions{Timing: p, FlipTH: flipTH})
 		if err != nil {
 			return mithril.Comparison{}, err
@@ -45,7 +58,7 @@ func main() {
 			Policy:       cells[i].pol,
 			InstrPerCore: 15_000,
 		}
-		return mithril.Compare(cfg, mithril.MixHigh(8, 1), scheme)
+		return eng.Compare(ctx, cfg, mithril.MixHigh(8, 1), scheme)
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,85 @@
+// Package apicompat is the pinned consumer snippet behind CI's api-compat
+// job: a frozen downstream program written against the PRE-ENGINE public
+// surface (package-level Run/Compare/RunParallel, the spec Run/RunAt
+// methods, NewScheme, the figure wrappers). It exists to fail the build
+// when a refactor breaks the deprecated shims' signatures or types.
+//
+// DO NOT modernize this file to the Engine API — its whole value is that
+// it keeps exercising the old one. It only needs to compile (CI runs
+// `go build ./internal/apicompat` and `go vet` over it); Exercise is never
+// called in anger.
+//
+//lint:file-ignore SA1019 this package intentionally consumes deprecated API
+package apicompat
+
+import (
+	"fmt"
+
+	"mithril"
+)
+
+// Exercise touches every entry point of the frozen surface with the exact
+// call shapes the pre-Engine README documented.
+func Exercise() error {
+	p := mithril.DDR5()
+
+	// Scheme construction by name, and the name inventory.
+	scheme, err := mithril.NewScheme("mithril", mithril.SchemeOptions{Timing: p, FlipTH: 6250})
+	if err != nil {
+		return err
+	}
+	_ = mithril.SchemeNames()
+
+	// Direct simulation and comparison, context-free.
+	cfg := mithril.SimConfig{
+		Params:       p,
+		FlipTH:       6250,
+		Scheduler:    mithril.BLISS,
+		Policy:       mithril.MinimalistOpen,
+		InstrPerCore: 1000,
+		Workload:     mithril.MixHigh(2, 1).Fresh(),
+	}
+	res, err := mithril.Run(cfg)
+	if err != nil {
+		return err
+	}
+	var _ mithril.SimResult = res
+
+	cmp, err := mithril.Compare(cfg, mithril.MixHigh(2, 1), scheme)
+	if err != nil {
+		return err
+	}
+	var _ mithril.Comparison = cmp
+
+	// The generic parallel fan-out.
+	vals, err := mithril.RunParallel(2, 4, func(i int) (int, error) { return i, nil })
+	if err != nil || len(vals) != 4 {
+		return fmt.Errorf("RunParallel: %v %v", vals, err)
+	}
+
+	// Declarative specs through the spec's own methods.
+	sp, err := mithril.LoadShippedSpec("figure10.quick")
+	if err != nil {
+		return err
+	}
+	if _, err := sp.Run(); err != nil {
+		return err
+	}
+	sc := mithril.QuickScale()
+	sc.Jobs = mithril.DefaultJobs()
+	if _, err := sp.RunAt(sc); err != nil {
+		return err
+	}
+
+	// The figure wrappers and analysis surface.
+	if _, err := mithril.Figure10Data(sc); err != nil {
+		return err
+	}
+	if _, err := mithril.SafetySweep(sc, 2000); err != nil {
+		return err
+	}
+	if c, ok := mithril.Configure(p, 6250, 128, 0); ok {
+		_ = mithril.BoundM(p, c.NEntry, c.RFMTH)
+	}
+	return nil
+}

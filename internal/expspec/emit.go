@@ -371,6 +371,46 @@ func (r *Result) Golden() string {
 	return b.String()
 }
 
+// RowValues renders one streamed row's selected columns as a flat
+// name→value map — the NDJSON row shape the serve endpoint emits. The
+// column vocabulary, order, and value types match WriteJSON's rows, so a
+// consumer can switch between batch and streaming output without
+// reparsing.
+func (s *Spec) RowValues(sc Scale, row Row) (map[string]any, error) {
+	res := &Result{Spec: s, Scale: sc}
+	switch s.Kind {
+	case Comparison:
+		if row.Perf == nil {
+			return nil, fmt.Errorf("spec %q: row %d has no comparison point", s.Name, row.Index)
+		}
+		res.Perf = []PerfPoint{*row.Perf}
+	case SafetyKind:
+		if row.Safety == nil {
+			return nil, fmt.Errorf("spec %q: row %d has no safety point", s.Name, row.Index)
+		}
+		res.Safety = []SafetyResult{*row.Safety}
+	case ConfigGrid:
+		if row.Grid == nil {
+			return nil, fmt.Errorf("spec %q: row %d has no configgrid point", s.Name, row.Index)
+		}
+		res.Grid = []Figure9Point{*row.Grid}
+	case AdTHSweep:
+		if row.AdTH == nil {
+			return nil, fmt.Errorf("spec %q: row %d has no adth point", s.Name, row.Index)
+		}
+		res.AdTH = []Figure7Point{*row.AdTH}
+	}
+	cols, err := res.selectedColumns()
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]any, len(cols))
+	for _, c := range cols {
+		m[c.name] = c.value(0)
+	}
+	return m, nil
+}
+
 // Emit writes the result in the named format (FormatTable prints just the
 // table; callers prepend their own title banner).
 func (r *Result) Emit(w io.Writer, format string) error {

@@ -1,8 +1,12 @@
 package expspec
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"iter"
 	"sort"
+	"sync"
 
 	"mithril/internal/analysis"
 	"mithril/internal/attack"
@@ -161,30 +165,128 @@ type Figure7Point struct {
 	AdditionalNEntryPct float64
 }
 
+// Row is one completed output row of an executing spec: the unit the
+// streaming executor yields as workers finish grid points. Exactly one of
+// the point fields is set, matching the spec's kind.
+type Row struct {
+	// Index is the row's position in the spec's deterministic Expand
+	// order. Streams deliver rows in completion order; consumers that
+	// need grid order reassemble by Index.
+	Index int
+	// Cell is the expanded grid cell this row realizes.
+	Cell Cell
+
+	Perf   *PerfPoint    // comparison
+	Safety *SafetyResult // safety
+	Grid   *Figure9Point // configgrid
+	AdTH   *Figure7Point // adth
+}
+
+// ---------------------------------------------------------- exec options
+
+// ExecOptions tunes a spec execution beyond what Scale carries. The zero
+// value (and a nil pointer) mean no progress reporting and a private
+// baseline cache per execution.
+type ExecOptions struct {
+	// Progress, when non-nil, is invoked after each output row completes
+	// with the number of completed rows and the total row count. Calls are
+	// serialized by the executor, so the hook needs no locking of its own;
+	// it must not block for long — it runs on the sweep's critical path.
+	Progress func(done, total int)
+	// Baselines, when non-nil, shares unprotected-baseline simulations
+	// across executions (the Engine's WithBaselineCache installs one).
+	// Entries are keyed by everything that determines a baseline run —
+	// scale geometry, seed, FlipTH, workload — so sharing is always sound.
+	Baselines *BaselineCache
+}
+
+func (o *ExecOptions) progress() func(done, total int) {
+	if o == nil {
+		return nil
+	}
+	return o.Progress
+}
+
+func (o *ExecOptions) baselines() *BaselineCache {
+	if o == nil || o.Baselines == nil {
+		return NewBaselineCache()
+	}
+	return o.Baselines
+}
+
+// BaselineCache is a single-flight cache of unprotected baseline runs,
+// shareable across spec executions (and safe for concurrent ones). Keys
+// include the scale geometry, so one cache can serve specs at different
+// scales without ever conflating their baselines.
+type BaselineCache struct {
+	c sweep.Cache[baselineKey, sim.Result]
+}
+
+// NewBaselineCache returns an empty cache.
+func NewBaselineCache() *BaselineCache { return &BaselineCache{} }
+
+// Len reports the number of distinct baselines filled or in flight.
+func (b *BaselineCache) Len() int { return b.c.Len() }
+
+// get is the single-flight fill with cancellation-eviction: a baseline
+// aborted by ctx cancellation is forgotten, not cached. A caller whose own
+// ctx is still live retries the fill — single-flight can hand it another
+// execution's cancelled result (it was blocked on that fill, or raced the
+// eviction), and that cancellation is not a fact about the key. The loop
+// terminates: each retry either joins a fill that completes, or runs the
+// caller's own fill under the caller's live ctx.
+func (b *BaselineCache) get(ctx context.Context, k baselineKey, fill func() (sim.Result, error)) (sim.Result, error) {
+	for {
+		res, err := b.c.Get(k, fill)
+		if err == nil || (!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)) {
+			return res, err
+		}
+		b.c.Forget(k)
+		if ctx.Err() != nil {
+			return res, err // our own execution is the cancelled one
+		}
+	}
+}
+
+// baselineKey identifies one unprotected run configuration, including the
+// scale fields that shape it (core count, instruction budget, time
+// compression), so shared caches never serve a baseline from a different
+// system configuration.
+type baselineKey struct {
+	cores     int
+	instr     int64
+	timeScale int
+	seed      uint64
+	flipTH    int
+	workload  string
+}
+
+func (sc Scale) baselineKey(seed uint64, flipTH int, workload string) baselineKey {
+	return baselineKey{
+		cores: sc.Cores, instr: sc.InstrPerCore, timeScale: sc.TimeScale,
+		seed: seed, flipTH: flipTH, workload: workload,
+	}
+}
+
 // ---------------------------------------------------------------- runner
 
 // runner caches baselines so every scheme is normalized against an
 // identical unprotected run. The cache is keyed by (seed, FlipTH,
-// workload), not workload name alone: a workload's generators can vary
-// with the seed and with FlipTH under an unchanged name (bh-adversarial
-// aims at the deployed filter's collision set), so cross-threshold sharing
-// would normalize against a stale run. Sharing FlipTH-independent
-// baselines is forgone — a few extra unprotected runs per sweep buys the
-// correctness guarantee. The cache is single-flight, so concurrent cells
-// share one simulation.
+// workload) on top of the scale geometry, not workload name alone: a
+// workload's generators can vary with the seed and with FlipTH under an
+// unchanged name (bh-adversarial aims at the deployed filter's collision
+// set), so cross-threshold sharing would normalize against a stale run.
+// Sharing FlipTH-independent baselines is forgone — a few extra
+// unprotected runs per sweep buys the correctness guarantee. The cache is
+// single-flight, so concurrent cells share one simulation.
 type runner struct {
 	sc        Scale
-	baselines sweep.Cache[baselineKey, sim.Result]
+	baselines *BaselineCache
 }
 
-// baselineKey identifies one unprotected run configuration.
-type baselineKey struct {
-	seed     uint64
-	flipTH   int
-	workload string
+func newRunner(sc Scale, baselines *BaselineCache) *runner {
+	return &runner{sc: sc, baselines: baselines}
 }
-
-func newRunner(sc Scale) *runner { return &runner{sc: sc} }
 
 // cfgFor derives the run configuration for a workload: attack workloads
 // get an extended instruction budget and end when the benign cores finish.
@@ -198,9 +300,9 @@ func (r *runner) cfgFor(flipTH int, w trace.Workload) sim.Config {
 	return cfg
 }
 
-func (r *runner) baseline(seed uint64, flipTH int, w trace.Workload) (sim.Result, error) {
-	return r.baselines.Get(baselineKey{seed, flipTH, w.Name}, func() (sim.Result, error) {
-		return sim.Run(r.cfgFor(flipTH, w))
+func (r *runner) baseline(ctx context.Context, seed uint64, flipTH int, w trace.Workload) (sim.Result, error) {
+	return r.baselines.get(ctx, r.sc.baselineKey(seed, flipTH, w.Name), func() (sim.Result, error) {
+		return sim.RunContext(ctx, r.cfgFor(flipTH, w))
 	})
 }
 
@@ -221,15 +323,15 @@ func BenignIPC(res sim.Result, attackers int) float64 {
 
 // measure runs scheme on workload and produces the normalized point;
 // trailing attacker cores (w.Attackers) are excluded from IPC aggregation.
-func (r *runner) measure(scheme mc.Scheme, seed uint64, flipTH int, w trace.Workload) (PerfPoint, error) {
+func (r *runner) measure(ctx context.Context, scheme mc.Scheme, seed uint64, flipTH int, w trace.Workload) (PerfPoint, error) {
 	attackers := w.Attackers
-	base, err := r.baseline(seed, flipTH, w)
+	base, err := r.baseline(ctx, seed, flipTH, w)
 	if err != nil {
 		return PerfPoint{}, err
 	}
 	cfg := r.cfgFor(flipTH, w)
 	cfg.Scheme = scheme
-	res, err := sim.Run(cfg)
+	res, err := sim.RunContext(ctx, cfg)
 	if err != nil {
 		return PerfPoint{}, err
 	}
@@ -372,25 +474,66 @@ func (s *Spec) Run() (*Result, error) {
 // the spec's resolved scale with the -jobs override applied). Rows come
 // back in the deterministic Expand order regardless of worker count.
 func (s *Spec) RunAt(sc Scale) (*Result, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	res := &Result{Spec: s, Scale: sc}
-	var err error
-	switch s.Kind {
-	case Comparison:
-		res.Perf, err = s.runComparison(sc)
-	case SafetyKind:
-		res.Safety, err = s.runSafety(sc)
-	case ConfigGrid:
-		res.Grid, err = s.runConfigGrid(sc)
-	case AdTHSweep:
-		res.AdTH, err = s.runAdTH(sc)
-	}
+	return s.RunAtContext(context.Background(), sc, nil)
+}
+
+// RunAtContext is RunAt with cooperative cancellation and execution
+// options: the sweep stops claiming cells when ctx is cancelled and
+// in-flight simulations abort mid-run, opts.Progress observes per-row
+// completion, and opts.Baselines shares unprotected runs across
+// executions. A nil opts behaves like RunAt.
+func (s *Spec) RunAtContext(ctx context.Context, sc Scale, opts *ExecOptions) (*Result, error) {
+	rr, err := s.newRowRunner(sc, opts)
 	if err != nil {
 		return nil, err
 	}
+	rows, err := sweep.RunContext(ctx, sc.Jobs, len(rr.cells), rr.run)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Spec: s, Scale: sc}
+	switch s.Kind {
+	case Comparison:
+		res.Perf = make([]PerfPoint, len(rows))
+		for i, row := range rows {
+			res.Perf[i] = *row.Perf
+		}
+	case SafetyKind:
+		res.Safety = make([]SafetyResult, len(rows))
+		for i, row := range rows {
+			res.Safety[i] = *row.Safety
+		}
+	case ConfigGrid:
+		res.Grid = make([]Figure9Point, len(rows))
+		for i, row := range rows {
+			res.Grid[i] = *row.Grid
+		}
+	case AdTHSweep:
+		res.AdTH = make([]Figure7Point, len(rows))
+		for i, row := range rows {
+			res.AdTH[i] = *row.AdTH
+		}
+	}
 	return res, nil
+}
+
+// StreamAt validates the spec and executes its grid, yielding each output
+// row as workers finish it — completion order, not grid order (Row.Index
+// recovers grid order). The sequence terminates with a single non-nil
+// error when a cell fails or ctx is cancelled; breaking out of the range
+// cancels the remaining grid. All workers have exited when the range ends.
+func (s *Spec) StreamAt(ctx context.Context, sc Scale, opts *ExecOptions) iter.Seq2[Row, error] {
+	rr, err := s.newRowRunner(sc, opts)
+	if err != nil {
+		return func(yield func(Row, error) bool) { yield(Row{}, err) }
+	}
+	return func(yield func(Row, error) bool) {
+		for iv, err := range sweep.StreamContext(ctx, sc.Jobs, len(rr.cells), rr.run) {
+			if !yield(iv.V, err) || err != nil {
+				return
+			}
+		}
+	}
 }
 
 // seeds resolves the seed axis (empty: the scale's single seed).
@@ -401,190 +544,234 @@ func (s *Spec) seeds(sc Scale) []uint64 {
 	return []uint64{sc.Seed}
 }
 
-// compSimCell is one independent simulation of a comparison sweep: its own
-// scheme instance, fresh workload, and — via the runner's single-flight
-// cache — a shared baseline.
-type compSimCell struct {
-	seed        uint64
-	flipTH      int
-	scheme      string
-	workload    trace.Workload
-	adversarial bool // build the BlockHammer-collision workload around the cell's scheme
+// seedSet is the per-seed workload state a comparison spec prepares once
+// and reuses across its grid rows.
+type seedSet struct {
+	normals []trace.Workload
+	rhW     trace.Workload
 }
 
-// runComparison generalizes the Figure 10/11 sweeps: every workload-axis
-// entry yields one row per (seed, FlipTH, scheme), with "normal" expanding
-// to the scale's benign set and geomean-reducing back to a single row.
-func (s *Spec) runComparison(sc Scale) ([]PerfPoint, error) {
-	r := newRunner(sc)
-	flipths := s.Axes.FlipTHs
-	if len(flipths) == 0 {
-		flipths = sc.FlipTHs
+// rowRunner executes one spec at one scale, one output row at a time: the
+// shared unit behind RunAtContext (batch, grid order) and StreamAt
+// (completion order). Precomputed per-seed state keeps row jobs pure.
+type rowRunner struct {
+	spec  *Spec
+	sc    Scale
+	r     *runner
+	cells []Cell
+
+	sets      map[uint64]*seedSet       // comparison
+	workloads map[uint64]trace.Workload // configgrid
+	mapper    *mc.AddressMapper         // safety
+
+	done     int
+	total    int
+	mu       sync.Mutex
+	onRow    func(done, total int)
+	baseline func(ctx context.Context, seed uint64, name string, w trace.Workload) (sim.Result, error) // adth
+}
+
+// newRowRunner validates the spec and binds the per-kind state.
+func (s *Spec) newRowRunner(sc Scale, opts *ExecOptions) (*rowRunner, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
 	}
-	// Enumerate every cell up front; the sweep engine fans them out over
-	// the worker pool and returns measurements in enumeration order, so
-	// the parallel sweep's output is identical to the serial path's.
-	var cells []compSimCell
-	type seedSet struct {
-		normals []trace.Workload
-		rhW     trace.Workload
+	rr := &rowRunner{
+		spec:  s,
+		sc:    sc,
+		r:     newRunner(sc, opts.baselines()),
+		cells: s.Expand(sc),
+		onRow: opts.progress(),
 	}
-	sets := map[uint64]*seedSet{}
-	for _, seed := range s.seeds(sc) {
-		set := &seedSet{}
-		sets[seed] = set
-		for _, name := range s.Axes.Workloads {
-			switch name {
-			case normalSet:
-				set.normals = normalWorkloads(sc, seed)
-			case multiSidedRH:
-				set.rhW = multiSidedWorkload(sc, seed)
+	rr.total = len(rr.cells)
+	switch s.Kind {
+	case Comparison:
+		rr.sets = map[uint64]*seedSet{}
+		for _, seed := range s.seeds(sc) {
+			set := &seedSet{}
+			rr.sets[seed] = set
+			for _, name := range s.Axes.Workloads {
+				switch name {
+				case normalSet:
+					set.normals = normalWorkloads(sc, seed)
+				case multiSidedRH:
+					set.rhW = multiSidedWorkload(sc, seed)
+				}
 			}
 		}
-		for _, flipTH := range flipths {
-			for _, scheme := range s.Axes.Schemes {
-				for _, name := range s.Axes.Workloads {
-					switch name {
-					case normalSet:
-						for _, w := range set.normals {
-							cells = append(cells, compSimCell{seed: seed, flipTH: flipTH, scheme: scheme, workload: w})
-						}
-					case multiSidedRH:
-						cells = append(cells, compSimCell{seed: seed, flipTH: flipTH, scheme: scheme, workload: set.rhW})
-					default:
-						cells = append(cells, compSimCell{seed: seed, flipTH: flipTH, scheme: scheme,
-							workload: benignWorkloads[name](sc.Cores, seed)})
-					}
-				}
-				if s.Axes.Adversarial {
-					cells = append(cells, compSimCell{seed: seed, flipTH: flipTH, scheme: scheme, adversarial: true})
-				}
-			}
+	case SafetyKind:
+		rr.mapper = mc.NewAddressMapper(sc.Params())
+	case ConfigGrid:
+		build := benignWorkloads[s.Axes.Workloads[0]]
+		rr.workloads = map[uint64]trace.Workload{}
+		for _, seed := range s.seeds(sc) {
+			rr.workloads[seed] = build(sc.Cores, seed)
+		}
+	case AdTHSweep:
+		// One baseline per (seed, workload): the unprotected run is
+		// scheme-independent and single-flight, so concurrent rows share
+		// it. The baseline's FlipTH slot (it only parameterizes the fault
+		// checker, not the machine) uses the first config's threshold.
+		baseFlipTH := s.Axes.Configs[0].FlipTH
+		rr.baseline = func(ctx context.Context, seed uint64, name string, w trace.Workload) (sim.Result, error) {
+			return rr.r.baselines.get(ctx, sc.baselineKey(seed, baseFlipTH, name), func() (sim.Result, error) {
+				cfg := BaseSimConfig(baseFlipTH, sc)
+				cfg.Workload = w.Fresh()
+				return sim.RunContext(ctx, cfg)
+			})
 		}
 	}
-	pts, err := sweep.Run(sc.Jobs, len(cells), func(i int) (PerfPoint, error) {
-		c := cells[i]
-		scheme, err := mitigation.Build(c.scheme, mitigation.Options{Timing: sc.Params(), FlipTH: c.flipTH, Seed: c.seed})
+	return rr, nil
+}
+
+// run computes output row i. It is safe for concurrent invocation across
+// distinct i; per-row scheme instances are built fresh, exactly as the
+// pre-streaming executor built one per simulation cell.
+func (rr *rowRunner) run(ctx context.Context, i int) (Row, error) {
+	row := Row{Index: i, Cell: rr.cells[i]}
+	var err error
+	switch rr.spec.Kind {
+	case Comparison:
+		row.Perf, err = rr.comparisonRow(ctx, rr.cells[i])
+	case SafetyKind:
+		row.Safety, err = rr.safetyRow(ctx, rr.cells[i])
+	case ConfigGrid:
+		row.Grid, err = rr.configGridRow(ctx, rr.cells[i])
+	case AdTHSweep:
+		row.AdTH, err = rr.adthRow(ctx, rr.cells[i])
+	}
+	if err != nil {
+		return Row{}, err
+	}
+	rr.reportProgress()
+	return row, nil
+}
+
+// reportProgress serializes the Progress hook so callers need no locking.
+func (rr *rowRunner) reportProgress() {
+	if rr.onRow == nil {
+		return
+	}
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	rr.done++
+	rr.onRow(rr.done, rr.total)
+}
+
+// buildScheme constructs a fresh scheme instance for one simulation. Every
+// simulation gets its own instance — tracker state must never leak between
+// grid cells (or between the member workloads of a "normal" row).
+func (rr *rowRunner) buildScheme(name string, flipTH int, seed uint64) (mc.Scheme, error) {
+	return mitigation.Build(name, mitigation.Options{Timing: rr.sc.Params(), FlipTH: flipTH, Seed: seed})
+}
+
+// comparisonRow measures one output row of a comparison sweep: a single
+// workload cell, or the whole "normal" benign set geomean-reduced to one
+// point, or the per-scheme BlockHammer-collision adversarial cell.
+//
+// The "normal" row runs its member workloads serially inside the one row
+// job — a deliberate trade: the output row is the streaming unit (a
+// partially-measured geomean is meaningless to a consumer), at the cost
+// of intra-row parallelism the old cell-granular executor had. Sweeps
+// keep their cross-row fan-out, which dominates at real grid sizes.
+func (rr *rowRunner) comparisonRow(ctx context.Context, c Cell) (*PerfPoint, error) {
+	if c.Adversarial {
+		scheme, err := rr.buildScheme(c.Scheme, c.FlipTH, c.Seed)
 		if err != nil {
-			return PerfPoint{}, err
+			return nil, err
 		}
-		w := c.workload
-		if c.adversarial {
-			w = adversarialWorkload(sc, c.seed, scheme)
+		pt, err := rr.r.measure(ctx, scheme, c.Seed, c.FlipTH, adversarialWorkload(rr.sc, c.Seed, scheme))
+		if err != nil {
+			return nil, err
 		}
-		return r.measure(scheme, c.seed, c.flipTH, w)
-	})
+		pt.TableKB = schemeTableKB(c.Scheme, c.FlipTH)
+		return &pt, nil
+	}
+	set := rr.sets[c.Seed]
+	if c.Workload == normalSet {
+		var perfs []float64
+		var energySum float64
+		safe := true
+		for _, w := range set.normals {
+			scheme, err := rr.buildScheme(c.Scheme, c.FlipTH, c.Seed)
+			if err != nil {
+				return nil, err
+			}
+			pt, err := rr.r.measure(ctx, scheme, c.Seed, c.FlipTH, w)
+			if err != nil {
+				return nil, err
+			}
+			perfs = append(perfs, pt.RelativePerformance)
+			energySum += pt.EnergyOverheadPct
+			safe = safe && pt.Safe
+		}
+		return &PerfPoint{
+			Scheme: c.Scheme, FlipTH: c.FlipTH, Workload: normalSet, Seed: c.Seed,
+			RelativePerformance: stats.Geomean(perfs),
+			EnergyOverheadPct:   energySum / float64(len(set.normals)),
+			TableKB:             schemeTableKB(c.Scheme, c.FlipTH),
+			Safe:                safe,
+		}, nil
+	}
+	w := set.rhW
+	if c.Workload != multiSidedRH {
+		w = benignWorkloads[c.Workload](rr.sc.Cores, c.Seed)
+	}
+	scheme, err := rr.buildScheme(c.Scheme, c.FlipTH, c.Seed)
 	if err != nil {
 		return nil, err
 	}
-	// Reduce in enumeration order: the "normal" set collapses to one
-	// geo-mean point per (seed, FlipTH, scheme); other points pass through.
-	var out []PerfPoint
-	idx := 0
-	for _, seed := range s.seeds(sc) {
-		set := sets[seed]
-		for _, flipTH := range flipths {
-			for _, scheme := range s.Axes.Schemes {
-				for _, name := range s.Axes.Workloads {
-					if name == normalSet {
-						var perfs []float64
-						var energySum float64
-						var safe = true
-						for range set.normals {
-							pt := pts[idx]
-							idx++
-							perfs = append(perfs, pt.RelativePerformance)
-							energySum += pt.EnergyOverheadPct
-							safe = safe && pt.Safe
-						}
-						out = append(out, PerfPoint{
-							Scheme: scheme, FlipTH: flipTH, Workload: normalSet, Seed: seed,
-							RelativePerformance: stats.Geomean(perfs),
-							EnergyOverheadPct:   energySum / float64(len(set.normals)),
-							TableKB:             schemeTableKB(scheme, flipTH),
-							Safe:                safe,
-						})
-						continue
-					}
-					pt := pts[idx]
-					idx++
-					pt.TableKB = schemeTableKB(scheme, flipTH)
-					out = append(out, pt)
-				}
-				if s.Axes.Adversarial {
-					apt := pts[idx]
-					idx++
-					apt.TableKB = schemeTableKB(scheme, flipTH)
-					out = append(out, apt)
-				}
-			}
-		}
+	pt, err := rr.r.measure(ctx, scheme, c.Seed, c.FlipTH, w)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	pt.TableKB = schemeTableKB(c.Scheme, c.FlipTH)
+	return &pt, nil
 }
 
-// runSafety attacks every scheme with the spec's attack patterns in the
-// full simulator and reports the fault-model verdicts; results come back
-// in (seed, FlipTH, attack, scheme) order.
-func (s *Spec) runSafety(sc Scale) ([]SafetyResult, error) {
-	mapper := mc.NewAddressMapper(sc.Params())
-	cells := s.Expand(sc)
-	return sweep.Run(sc.Jobs, len(cells), func(i int) (SafetyResult, error) {
-		c := cells[i]
-		scheme, err := mitigation.Build(c.Scheme, mitigation.Options{Timing: sc.Params(), FlipTH: c.FlipTH, Seed: c.Seed})
-		if err != nil {
-			return SafetyResult{}, err
-		}
-		cfg := BaseSimConfig(c.FlipTH, sc)
-		cfg.Scheme = scheme
-		cfg.Workload = attackPatterns[c.Workload](mapper)
-		cfg.InstrPerCore = sc.InstrPerCore * attackInstrFactor
-		cfg.RequireCores = 1 // benign core only
-		res, err := sim.Run(cfg)
-		if err != nil {
-			return SafetyResult{}, err
-		}
-		return SafetyResult{
-			Scheme: c.Scheme, Attack: c.Workload, FlipTH: c.FlipTH, Seed: c.Seed,
-			Flips: res.Safety.Flips, MaxDisturbance: res.Safety.MaxDisturbance,
-			Safe: res.Safety.Safe(),
-		}, nil
-	})
+// safetyRow attacks one scheme with one attack pattern in the full
+// simulator and reports the fault-model verdict.
+func (rr *rowRunner) safetyRow(ctx context.Context, c Cell) (*SafetyResult, error) {
+	scheme, err := rr.buildScheme(c.Scheme, c.FlipTH, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := BaseSimConfig(c.FlipTH, rr.sc)
+	cfg.Scheme = scheme
+	cfg.Workload = attackPatterns[c.Workload](rr.mapper)
+	cfg.InstrPerCore = rr.sc.InstrPerCore * attackInstrFactor
+	cfg.RequireCores = 1 // benign core only
+	res, err := sim.RunContext(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SafetyResult{
+		Scheme: c.Scheme, Attack: c.Workload, FlipTH: c.FlipTH, Seed: c.Seed,
+		Flips: res.Safety.Flips, MaxDisturbance: res.Safety.MaxDisturbance,
+		Safe: res.Safety.Safe(),
+	}, nil
 }
 
-// runConfigGrid sweeps the paired Mithril/Mithril+ grid; infeasible
-// (FlipTH, RFMTH) points (Theorem 1 has no table size) are skipped, so the
-// emitted rows are the analytically feasible subset of the declared grid.
-func (s *Spec) runConfigGrid(sc Scale) ([]Figure9Point, error) {
-	r := newRunner(sc)
-	build := benignWorkloads[s.Axes.Workloads[0]]
-	// Expand already filtered out analytically infeasible points, so the
-	// fan-out runs exactly the cells the spec's grid emits.
-	cells := s.Expand(sc)
-	workloads := map[uint64]trace.Workload{}
-	for _, seed := range s.seeds(sc) {
-		workloads[seed] = build(sc.Cores, seed)
+// configGridRow measures the paired Mithril/Mithril+ point of one feasible
+// (FlipTH, RFMTH) grid cell.
+func (rr *rowRunner) configGridRow(ctx context.Context, c Cell) (*Figure9Point, error) {
+	w := rr.workloads[c.Seed]
+	opt := mitigation.Options{Timing: rr.sc.Params(), FlipTH: c.FlipTH, RFMTH: c.RFMTH, Seed: c.Seed}
+	m, err := rr.r.measure(ctx, mitigation.NewMithril(opt), c.Seed, c.FlipTH, w)
+	if err != nil {
+		return nil, err
 	}
-	return sweep.Run(sc.Jobs, len(cells), func(i int) (Figure9Point, error) {
-		c := cells[i]
-		w := workloads[c.Seed]
-		opt := mitigation.Options{Timing: sc.Params(), FlipTH: c.FlipTH, RFMTH: c.RFMTH, Seed: c.Seed}
-		m, err := r.measure(mitigation.NewMithril(opt), c.Seed, c.FlipTH, w)
-		if err != nil {
-			return Figure9Point{}, err
-		}
-		plus, err := r.measure(mitigation.NewMithrilPlus(opt), c.Seed, c.FlipTH, w)
-		if err != nil {
-			return Figure9Point{}, err
-		}
-		kb, _ := analysis.MithrilTableKB(timing.DDR5(), c.FlipTH, c.RFMTH, 0)
-		return Figure9Point{
-			FlipTH: c.FlipTH, RFMTH: c.RFMTH, Seed: c.Seed,
-			Mithril: m.RelativePerformance, MithrilPlus: plus.RelativePerformance,
-			TableKB:       kb,
-			EnergyMithril: m.EnergyOverheadPct, EnergyPlus: plus.EnergyOverheadPct,
-		}, nil
-	})
+	plus, err := rr.r.measure(ctx, mitigation.NewMithrilPlus(opt), c.Seed, c.FlipTH, w)
+	if err != nil {
+		return nil, err
+	}
+	kb, _ := analysis.MithrilTableKB(timing.DDR5(), c.FlipTH, c.RFMTH, 0)
+	return &Figure9Point{
+		FlipTH: c.FlipTH, RFMTH: c.RFMTH, Seed: c.Seed,
+		Mithril: m.RelativePerformance, MithrilPlus: plus.RelativePerformance,
+		TableKB:       kb,
+		EnergyMithril: m.EnergyOverheadPct, EnergyPlus: plus.EnergyOverheadPct,
+	}, nil
 }
 
 // adOrDisabled maps AdTH 0 to the mitigation package's "disabled" encoding.
@@ -595,81 +782,32 @@ func adOrDisabled(ad int) int {
 	return ad
 }
 
-// runAdTH sweeps AdTH for fixed (FlipTH, RFMTH) configurations across the
-// workload classes, reporting energy overheads plus the Theorem 2 table
-// growth.
-func (s *Spec) runAdTH(sc Scale) ([]Figure7Point, error) {
-	p := sc.Params()
-	// One baseline per (seed, workload): the unprotected run is
-	// scheme-independent, single-flight so concurrent cells share it. The
-	// baseline's FlipTH slot (it only parameterizes the fault checker, not
-	// the machine) uses the first config's threshold.
-	baseFlipTH := s.Axes.Configs[0].FlipTH
-	var baselines sweep.Cache[baselineKey, sim.Result]
-	baseline := func(seed uint64, name string, w trace.Workload) (sim.Result, error) {
-		return baselines.Get(baselineKey{seed, 0, name}, func() (sim.Result, error) {
-			cfg := BaseSimConfig(baseFlipTH, sc)
-			cfg.Workload = w.Fresh()
-			return sim.Run(cfg)
-		})
+// adthRow sweeps the workload classes for one (seed, config, AdTH) point,
+// reporting energy overheads plus the Theorem 2 table growth.
+func (rr *rowRunner) adthRow(ctx context.Context, c Cell) (*Figure7Point, error) {
+	p := rr.sc.Params()
+	pt := &Figure7Point{FlipTH: c.FlipTH, RFMTH: c.RFMTH, AdTH: c.AdTH, Seed: c.Seed,
+		EnergyOverheadPct: map[string]float64{}}
+	if pct, ok := analysis.AdditionalNEntryPercent(p, c.FlipTH, c.RFMTH, c.AdTH); ok {
+		pt.AdditionalNEntryPct = pct
 	}
-	// Fan each (seed, config, AdTH, workload) cell out to the worker pool;
-	// the energy overheads come back in enumeration order.
-	type adthCell struct {
-		seed   uint64
-		config ConfigPoint
-		adTH   int
-		wName  string
-	}
-	var cells []adthCell
-	for _, seed := range s.seeds(sc) {
-		for _, cfg := range s.Axes.Configs {
-			for _, ad := range s.Axes.AdTHs {
-				for _, wName := range s.Axes.Workloads {
-					cells = append(cells, adthCell{seed, cfg, ad, wName})
-				}
-			}
-		}
-	}
-	energies, err := sweep.Run(sc.Jobs, len(cells), func(i int) (float64, error) {
-		c := cells[i]
-		w := adthWorkloads[c.wName].build(sc.Cores, c.seed)
-		base, err := baseline(c.seed, c.wName, w)
+	for _, wName := range rr.spec.Axes.Workloads {
+		w := adthWorkloads[wName].build(rr.sc.Cores, c.Seed)
+		base, err := rr.baseline(ctx, c.Seed, wName, w)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		scheme := mitigation.NewMithril(mitigation.Options{
-			Timing: p, FlipTH: c.config.FlipTH, RFMTH: c.config.RFMTH, AdTH: adOrDisabled(c.adTH), Seed: c.seed,
+			Timing: p, FlipTH: c.FlipTH, RFMTH: c.RFMTH, AdTH: adOrDisabled(c.AdTH), Seed: c.Seed,
 		})
-		cfg := BaseSimConfig(c.config.FlipTH, sc)
+		cfg := BaseSimConfig(c.FlipTH, rr.sc)
 		cfg.Scheme = scheme
 		cfg.Workload = w.Fresh()
-		res, err := sim.Run(cfg)
+		res, err := sim.RunContext(ctx, cfg)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
-		return energy.OverheadPercent(res.Energy, base.Energy), nil
-	})
-	if err != nil {
-		return nil, err
+		pt.EnergyOverheadPct[wName] = energy.OverheadPercent(res.Energy, base.Energy)
 	}
-	var out []Figure7Point
-	idx := 0
-	for _, seed := range s.seeds(sc) {
-		for _, cfg := range s.Axes.Configs {
-			for _, ad := range s.Axes.AdTHs {
-				pt := Figure7Point{FlipTH: cfg.FlipTH, RFMTH: cfg.RFMTH, AdTH: ad, Seed: seed,
-					EnergyOverheadPct: map[string]float64{}}
-				if pct, ok := analysis.AdditionalNEntryPercent(p, cfg.FlipTH, cfg.RFMTH, ad); ok {
-					pt.AdditionalNEntryPct = pct
-				}
-				for _, wName := range s.Axes.Workloads {
-					pt.EnergyOverheadPct[wName] = energies[idx]
-					idx++
-				}
-				out = append(out, pt)
-			}
-		}
-	}
-	return out, nil
+	return pt, nil
 }

@@ -2,10 +2,15 @@
 // describing an experiment grid (axes over scheme × FlipTH × workload ×
 // seed × adversarial flag at a named scale), validation and deterministic
 // grid expansion, and an executor that fans the expanded grid out over the
-// internal/sweep worker pool with single-flight baseline caching. Results
-// render as the CLI's aligned text tables or as machine-readable JSON/CSV
-// rows, and as the raw full-precision "golden" line format the repository's
-// regression goldens (testdata/golden_*.txt) are pinned in.
+// internal/sweep worker pool with single-flight baseline caching. Every
+// execution is context-aware (cancellation stops the sweep within one grid
+// point and aborts in-flight simulations) and row-oriented: RunAtContext
+// collects rows in deterministic grid order, StreamAt yields the same rows
+// in completion order as workers finish them, and ExecOptions adds a
+// per-row progress hook plus a baseline cache shareable across executions.
+// Results render as the CLI's aligned text tables or as machine-readable
+// JSON/CSV rows, and as the raw full-precision "golden" line format the
+// repository's regression goldens (testdata/golden_*.txt) are pinned in.
 //
 // The paper's simulation figures (7, 9, 10, 11) and the safety sweep are
 // thin wrappers over shipped spec files (specs/*.json at the module root);

@@ -1,0 +1,189 @@
+package expspec
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// streamScale resolves tiny()'s scale with a worker pool.
+func streamScale(t *testing.T, jobs int) Scale {
+	t.Helper()
+	sc, err := tiny().Scale.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Jobs = jobs
+	return sc
+}
+
+// TestStreamMatchesBatch pins the core streaming guarantee: reassembling a
+// stream's rows by Index reproduces the batch result exactly.
+func TestStreamMatchesBatch(t *testing.T) {
+	s := tiny()
+	sc := streamScale(t, 4)
+	batch, err := s.RunAtContext(context.Background(), sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]PerfPoint, len(batch.Perf))
+	seen := 0
+	for row, err := range s.StreamAt(context.Background(), sc, nil) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.Perf == nil {
+			t.Fatalf("row %d has no perf point", row.Index)
+		}
+		got[row.Index] = *row.Perf
+		seen++
+	}
+	if seen != len(batch.Perf) {
+		t.Fatalf("streamed %d rows, batch has %d", seen, len(batch.Perf))
+	}
+	if !reflect.DeepEqual(got, batch.Perf) {
+		t.Errorf("stream != batch:\nstream: %v\nbatch:  %v", got, batch.Perf)
+	}
+}
+
+func TestStreamInvalidSpecYieldsError(t *testing.T) {
+	s := tiny()
+	s.Axes.Schemes = []string{"bogus"}
+	sc := streamScale(t, 1)
+	var sawErr error
+	rows := 0
+	for _, err := range s.StreamAt(context.Background(), sc, nil) {
+		if err != nil {
+			sawErr = err
+			continue
+		}
+		rows++
+	}
+	if sawErr == nil || rows != 0 {
+		t.Fatalf("err=%v rows=%d, want validation error and no rows", sawErr, rows)
+	}
+}
+
+func TestStreamCancelMidSweep(t *testing.T) {
+	s := tiny()
+	s.Axes.Seeds = []uint64{1, 2, 3, 4, 5, 6} // 12 rows
+	sc := streamScale(t, 2)
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rows := 0
+	var sawErr error
+	for _, err := range s.StreamAt(ctx, sc, nil) {
+		if err != nil {
+			sawErr = err
+			continue
+		}
+		rows++
+		if rows == 2 {
+			cancel()
+		}
+	}
+	if !errors.Is(sawErr, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", sawErr)
+	}
+	if rows >= 12 {
+		t.Fatal("full grid delivered despite cancellation")
+	}
+	// All sweep workers must have exited by the time the range ends.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline {
+		t.Fatalf("leaked goroutines: %d > %d", g, baseline)
+	}
+}
+
+func TestRunAtContextCancelled(t *testing.T) {
+	s := tiny()
+	sc := streamScale(t, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.RunAtContext(ctx, sc, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestProgressHook(t *testing.T) {
+	s := tiny()
+	sc := streamScale(t, 4)
+	var calls []int
+	var lastTotal int
+	res, err := s.RunAtContext(context.Background(), sc, &ExecOptions{
+		Progress: func(done, total int) { calls = append(calls, done); lastTotal = total },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != len(res.Perf) || lastTotal != len(res.Perf) {
+		t.Fatalf("progress calls %v (total %d), want %d monotonic calls", calls, lastTotal, len(res.Perf))
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("progress done sequence %v not monotonic", calls)
+		}
+	}
+}
+
+// TestSharedBaselineCache pins the WithBaselineCache contract: a second
+// execution of the same spec against a shared cache adds no new baseline
+// entries, and results are identical to a cold run.
+func TestSharedBaselineCache(t *testing.T) {
+	s := tiny()
+	sc := streamScale(t, 2)
+	cache := NewBaselineCache()
+	opts := &ExecOptions{Baselines: cache}
+	a, err := s.RunAtContext(context.Background(), sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := cache.Len()
+	if warm == 0 {
+		t.Fatal("no baselines cached")
+	}
+	b, err := s.RunAtContext(context.Background(), sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != warm {
+		t.Fatalf("second run grew the cache: %d -> %d", warm, cache.Len())
+	}
+	if !reflect.DeepEqual(a.Perf, b.Perf) {
+		t.Errorf("warm-cache run diverges: %v vs %v", a.Perf, b.Perf)
+	}
+}
+
+func TestRowValues(t *testing.T) {
+	s := tiny()
+	sc := streamScale(t, 1)
+	for row, err := range s.StreamAt(context.Background(), sc, nil) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := s.RowValues(sc, row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Default comparison columns, with the row's own values bound.
+		for _, col := range []string{"scheme", "flipth", "workload", "perf", "energy", "tablekb", "safe"} {
+			if _, ok := m[col]; !ok {
+				t.Fatalf("RowValues missing %q: %v", col, m)
+			}
+		}
+		if m["scheme"] != row.Perf.Scheme {
+			t.Fatalf("scheme = %v, want %v", m["scheme"], row.Perf.Scheme)
+		}
+	}
+	// A row whose point is missing must error, not panic.
+	if _, err := s.RowValues(sc, Row{}); err == nil {
+		t.Fatal("empty row should error")
+	}
+}

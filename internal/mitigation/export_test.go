@@ -1,0 +1,9 @@
+package mitigation
+
+// unregisterForTest removes a test-registered scheme so registry tests
+// leave the shipped name set intact for later tests in the process.
+func unregisterForTest(name string) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	delete(registry, name)
+}

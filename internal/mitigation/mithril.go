@@ -23,6 +23,11 @@ type MithrilScheme struct {
 
 var _ mc.Scheme = (*MithrilScheme)(nil)
 
+func init() {
+	Register("mithril", func(opt Options) mc.Scheme { return NewMithril(opt) })
+	Register("mithril+", func(opt Options) mc.Scheme { return NewMithrilPlus(opt) })
+}
+
 // NewMithril configures Mithril for the option's FlipTH: RFMTH from the
 // paper's per-level choice (or the override), Nentry from Theorem 1/2.
 func NewMithril(opt Options) *MithrilScheme { return newMithril(opt, false) }

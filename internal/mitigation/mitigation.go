@@ -18,7 +18,11 @@
 package mitigation
 
 import (
+	"errors"
 	"fmt"
+	"sort"
+	"strings"
+	"sync"
 
 	"mithril/internal/core"
 	"mithril/internal/mc"
@@ -99,34 +103,78 @@ func appendVictims(buf []uint32, aggressor uint32, radius int) []uint32 {
 	return core.AppendVictimRows(buf[:0], aggressor, radius)
 }
 
-// Build constructs a scheme by name: "none", "para", "parfm", "graphene",
-// "twice", "cbt", "blockhammer", "mithril", "mithril+".
-func Build(name string, opt Options) (mc.Scheme, error) {
-	switch name {
-	case "none", "":
-		return mc.NoProtection{}, nil
-	case "para":
-		return NewPARA(opt), nil
-	case "parfm":
-		return NewPARFM(opt), nil
-	case "graphene":
-		return NewGraphene(opt), nil
-	case "twice":
-		return NewTWiCe(opt), nil
-	case "cbt":
-		return NewCBT(opt), nil
-	case "blockhammer":
-		return NewBlockHammer(opt), nil
-	case "mithril":
-		return NewMithril(opt), nil
-	case "mithril+":
-		return NewMithrilPlus(opt), nil
-	default:
-		return nil, fmt.Errorf("mitigation: unknown scheme %q", name)
+// Factory constructs one scheme instance from the common Options. A
+// factory must return a ready-to-use scheme; configuration errors it can
+// detect should panic at registration-time inputs or be deferred to the
+// scheme's first use — Build treats a registered name as always buildable.
+type Factory func(Options) mc.Scheme
+
+// registry maps scheme names to factories. The shipped schemes register
+// themselves from init functions in their own files; out-of-tree schemes
+// call Register from their package's init and become buildable by every
+// consumer (spec validation, the CLI, the serve endpoint) without touching
+// this package. Guarded by a mutex so late registration from plugin-style
+// setup code is race-free.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// Register adds a buildable scheme under name. It panics on an empty name,
+// a nil factory, or a duplicate registration — all three are programmer
+// errors at package-init time, not runtime conditions to handle.
+func Register(name string, f Factory) {
+	if name == "" {
+		panic("mitigation: Register with empty scheme name")
 	}
+	if f == nil {
+		panic(fmt.Sprintf("mitigation: Register(%q) with nil factory", name))
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("mitigation: duplicate Register(%q)", name))
+	}
+	registry[name] = f
 }
 
-// Names lists the buildable scheme names.
+// ErrUnknownScheme is returned (wrapped, with the valid names listed) by
+// Build for a name no factory is registered under. Match with errors.Is.
+var ErrUnknownScheme = errors.New("unknown mitigation scheme")
+
+// Build constructs a scheme by registered name; the empty string is an
+// alias for "none". The shipped registry holds "blockhammer", "cbt",
+// "graphene", "mithril", "mithril+", "none", "para", "parfm", "twice".
+// An unregistered name yields an error wrapping ErrUnknownScheme that
+// lists the valid names.
+func Build(name string, opt Options) (mc.Scheme, error) {
+	if name == "" {
+		name = "none"
+	}
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("mitigation: %w %q (valid: %s)", ErrUnknownScheme, name, strings.Join(Names(), ", "))
+	}
+	return f(opt), nil
+}
+
+// Names lists the registered scheme names in sorted order. The ordering is
+// a documented guarantee (and pinned by a test): consumers render the list
+// in error messages, CLI help, and service responses, and a stable order
+// keeps those byte-stable across registration order changes.
 func Names() []string {
-	return []string{"none", "para", "parfm", "graphene", "twice", "cbt", "blockhammer", "mithril", "mithril+"}
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register("none", func(Options) mc.Scheme { return mc.NoProtection{} })
 }

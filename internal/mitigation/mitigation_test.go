@@ -1,6 +1,10 @@
 package mitigation
 
 import (
+	"errors"
+	"reflect"
+	"sort"
+	"strings"
 	"testing"
 
 	"mithril/internal/mc"
@@ -24,6 +28,93 @@ func TestBuildAllNames(t *testing.T) {
 	}
 	if _, err := Build("bogus", opts(6250)); err == nil {
 		t.Fatal("unknown scheme should error")
+	}
+}
+
+// TestNamesSortedGuarantee pins the documented registry contract: Names()
+// returns the registered schemes in sorted order, and the shipped set is
+// exactly the paper's Table I plus the unprotected baseline.
+func TestNamesSortedGuarantee(t *testing.T) {
+	got := Names()
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("Names() not sorted: %v", got)
+	}
+	want := []string{"blockhammer", "cbt", "graphene", "mithril", "mithril+", "none", "para", "parfm", "twice"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	// The returned slice is a copy: mutating it must not corrupt the
+	// registry's view.
+	got[0] = "clobbered"
+	if Names()[0] != want[0] {
+		t.Fatal("Names() exposed internal state")
+	}
+}
+
+func TestBuildUnknownSchemeError(t *testing.T) {
+	_, err := Build("bogus", opts(6250))
+	if !errors.Is(err, ErrUnknownScheme) {
+		t.Fatalf("err = %v, want ErrUnknownScheme", err)
+	}
+	// The message must name every valid scheme so a typo is self-repairing.
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list valid scheme %q", err, name)
+		}
+	}
+}
+
+func TestBuildEmptyNameIsNone(t *testing.T) {
+	s, err := Build("", opts(6250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.(mc.NoProtection); !ok {
+		t.Fatalf("Build(\"\") = %T, want NoProtection", s)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("duplicate", func() {
+		Register("mithril", func(Options) mc.Scheme { return mc.NoProtection{} })
+	})
+	mustPanic("empty name", func() {
+		Register("", func(Options) mc.Scheme { return mc.NoProtection{} })
+	})
+	mustPanic("nil factory", func() { Register("novel-scheme", nil) })
+}
+
+// TestRegisterOutOfTree exercises the open-registry path: a scheme this
+// package has never heard of becomes buildable (and listed) once
+// registered.
+func TestRegisterOutOfTree(t *testing.T) {
+	const name = "test-only-scheme"
+	Register(name, func(Options) mc.Scheme { return mc.NoProtection{} })
+	t.Cleanup(func() { unregisterForTest(name) })
+	s, err := Build(name, opts(6250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil {
+		t.Fatal("nil scheme")
+	}
+	found := false
+	for _, n := range Names() {
+		if n == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Names() = %v, missing %q", Names(), name)
 	}
 }
 

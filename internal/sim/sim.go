@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"mithril/internal/cpu"
@@ -148,7 +149,20 @@ func (s genSource) Next() cpu.Op {
 
 // Run executes one simulation to completion (or MaxTime) and returns the
 // results.
-func Run(cfg Config) (Result, error) {
+func Run(cfg Config) (Result, error) { return RunContext(context.Background(), cfg) }
+
+// cancelCheckInterval is how many main-loop iterations pass between
+// cooperative ctx polls: frequent enough that cancellation lands within
+// microseconds of simulated progress, rare enough that the poll is
+// invisible on the tick hot path.
+const cancelCheckInterval = 1 << 12
+
+// RunContext is Run with cooperative cancellation: the simulation polls
+// ctx every few thousand loop iterations and aborts with ctx's error when
+// it is done, so a cancelled sweep stops mid-run instead of finishing a
+// multi-second grid point it will discard. A context that can never be
+// cancelled (context.Background()) adds no per-iteration work.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return Result{}, err
 	}
@@ -174,7 +188,25 @@ func Run(cfg Config) (Result, error) {
 
 	now := timing.PicoSeconds(0)
 	tick := cfg.Params.TCK
+	cancellable := ctx.Done() != nil
+	if cancellable {
+		// Short runs can finish inside one check interval; an already-
+		// cancelled context must still abort before simulating anything.
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+	}
+	sinceCheck := 0
 	for {
+		if cancellable {
+			sinceCheck++
+			if sinceCheck >= cancelCheckInterval {
+				sinceCheck = 0
+				if err := ctx.Err(); err != nil {
+					return Result{}, err
+				}
+			}
+		}
 		// Deliver due completions.
 		for len(pending) > 0 && pending[0].at <= now {
 			c := pending.pop()
@@ -266,17 +298,23 @@ type Comparison struct {
 // the scheme — using identical generator state, and reports normalized
 // metrics.
 func RunComparison(cfg Config, workload trace.Workload, scheme mc.Scheme) (Comparison, error) {
+	return RunComparisonContext(context.Background(), cfg, workload, scheme)
+}
+
+// RunComparisonContext is RunComparison with cooperative cancellation
+// threaded through both runs.
+func RunComparisonContext(ctx context.Context, cfg Config, workload trace.Workload, scheme mc.Scheme) (Comparison, error) {
 	base := cfg
 	base.Scheme = nil
 	base.Workload = workload.Fresh()
-	baseline, err := Run(base)
+	baseline, err := RunContext(ctx, base)
 	if err != nil {
 		return Comparison{}, err
 	}
 	prot := cfg
 	prot.Scheme = scheme
 	prot.Workload = workload.Fresh()
-	protected, err := Run(prot)
+	protected, err := RunContext(ctx, prot)
 	if err != nil {
 		return Comparison{}, err
 	}

@@ -1,15 +1,26 @@
 // Package sweep is the concurrent experiment engine: it fans independent
 // sweep cells out over a fixed worker pool with deterministic result
-// ordering (parallel output is identical to a serial loop) and provides a
-// single-flight cache so shared work — unprotected baseline simulations —
-// runs exactly once no matter how many cells need it.
+// ordering (parallel output is identical to a serial loop), streams results
+// in completion order for long-running consumers, honours context
+// cancellation cooperatively, and provides a single-flight cache so shared
+// work — unprotected baseline simulations — runs exactly once no matter how
+// many cells need it.
 package sweep
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// isCancellation reports whether err is a context cancellation/deadline —
+// the error shape a cell aborted by the sweep's own first-error cancel
+// returns, as opposed to a genuine cell failure.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // DefaultJobs is the worker count used when a sweep is configured with
 // jobs <= 0: one worker per available core.
@@ -24,18 +35,36 @@ func DefaultJobs() int { return runtime.GOMAXPROCS(0) }
 // started are cancelled, and in-flight cells finish (their results are
 // discarded).
 func Run[T any](jobs, n int, fn func(i int) (T, error)) ([]T, error) {
+	return RunContext(context.Background(), jobs, n,
+		func(_ context.Context, i int) (T, error) { return fn(i) })
+}
+
+// RunContext is Run with cooperative cancellation: the sweep stops claiming
+// new cells as soon as ctx is done (in-flight cells finish — or abort
+// themselves, if fn threads its ctx into cancellable work) and returns
+// ctx's error. fn receives a context derived from ctx that is additionally
+// cancelled when any cell fails, so a long-running cell can abandon work
+// the sweep will discard anyway. A cell error still wins over the derived
+// cancellation it causes; a parent cancellation wins over errors that cells
+// report because of it.
+func RunContext[T any](ctx context.Context, jobs, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if jobs <= 0 {
 		jobs = DefaultJobs()
 	}
 	if jobs > n {
 		jobs = n
 	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	out := make([]T, n)
 	if jobs <= 1 {
 		for i := 0; i < n; i++ {
-			v, err := fn(i)
-			if err != nil {
+			if err := ctx.Err(); err != nil {
 				return nil, err
+			}
+			v, err := fn(cctx, i)
+			if err != nil {
+				return nil, sweepErr(ctx, err)
 			}
 			out[i] = v
 		}
@@ -43,13 +72,14 @@ func Run[T any](jobs, n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 
 	var (
-		next     atomic.Int64
-		failed   atomic.Bool
-		mu       sync.Mutex
-		firstErr error
-		errIdx   = n
-		panicked any
-		wg       sync.WaitGroup
+		next      atomic.Int64
+		failed    atomic.Bool
+		mu        sync.Mutex
+		firstErr  error // lowest-index genuine cell error
+		errIdx    = n
+		cancelErr error // first cancellation-shaped cell error, the fallback
+		panicked  any
+		wg        sync.WaitGroup
 	)
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
@@ -66,21 +96,33 @@ func Run[T any](jobs, n int, fn func(i int) (T, error)) ([]T, error) {
 					}
 					mu.Unlock()
 					failed.Store(true)
+					cancel()
 				}
 			}()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
+				if i >= n || failed.Load() || cctx.Err() != nil {
 					return
 				}
-				v, err := fn(i)
+				v, err := fn(cctx, i)
 				if err != nil {
 					mu.Lock()
-					if i < errIdx {
+					// Cancellation-shaped errors are almost always cells
+					// aborted by another cell's failure (the derived ctx
+					// cancel) — they must not mask the genuine error at
+					// any index. Keep them only as a fallback for the
+					// degenerate sweep whose cells all cancelled
+					// themselves.
+					if isCancellation(err) {
+						if cancelErr == nil {
+							cancelErr = err
+						}
+					} else if i < errIdx {
 						errIdx, firstErr = i, err
 					}
 					mu.Unlock()
 					failed.Store(true)
+					cancel()
 					return
 				}
 				out[i] = v
@@ -92,9 +134,155 @@ func Run[T any](jobs, n int, fn func(i int) (T, error)) ([]T, error) {
 		panic(panicked)
 	}
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, sweepErr(ctx, firstErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cancelErr != nil {
+		return nil, cancelErr
 	}
 	return out, nil
+}
+
+// sweepErr reports the parent cancellation when it is what aborted the
+// sweep: a cell that fails because its derived context was cancelled should
+// not masquerade as a real cell error.
+func sweepErr(ctx context.Context, cellErr error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return cellErr
+}
+
+// Indexed tags a streamed cell result with the cell index it belongs to,
+// since streaming delivers results in completion order, not index order.
+type Indexed[T any] struct {
+	I int
+	V T
+}
+
+// StreamContext executes fn(i) for every i in [0, n) on up to jobs workers
+// and yields each result as it completes — completion order, NOT index
+// order (consumers that need index order reassemble via Indexed.I). The
+// sequence terminates early, yielding the error once with a zero Indexed
+// value, when a cell fails or ctx is cancelled; breaking out of the range
+// cancels the remaining cells. However the sequence ends, all worker
+// goroutines have exited by the time it returns — streams do not leak.
+// fn receives a context derived from ctx, cancelled on first error or
+// consumer abandonment, exactly as in RunContext.
+func StreamContext[T any](ctx context.Context, jobs, n int, fn func(ctx context.Context, i int) (T, error)) func(yield func(Indexed[T], error) bool) {
+	return func(yield func(Indexed[T], error) bool) {
+		if jobs <= 0 {
+			jobs = DefaultJobs()
+		}
+		if jobs > n {
+			jobs = n
+		}
+		cctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		if jobs <= 1 {
+			for i := 0; i < n; i++ {
+				if err := ctx.Err(); err != nil {
+					yield(Indexed[T]{}, err)
+					return
+				}
+				v, err := fn(cctx, i)
+				if err != nil {
+					yield(Indexed[T]{}, sweepErr(ctx, err))
+					return
+				}
+				if !yield(Indexed[T]{I: i, V: v}, nil) {
+					return
+				}
+			}
+			return
+		}
+
+		type item struct {
+			idx int
+			val T
+			err error
+		}
+		var (
+			ch       = make(chan item)
+			next     atomic.Int64
+			mu       sync.Mutex
+			panicked any
+			wg       sync.WaitGroup
+		)
+		for w := 0; w < jobs; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						mu.Lock()
+						if panicked == nil {
+							panicked = r
+						}
+						mu.Unlock()
+						cancel()
+					}
+				}()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n || cctx.Err() != nil {
+						return
+					}
+					v, err := fn(cctx, i)
+					select {
+					case ch <- item{idx: i, val: v, err: err}:
+						if err != nil {
+							cancel()
+							return
+						}
+					case <-cctx.Done():
+						return
+					}
+				}
+			}()
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		// However the consumer leaves (break, error, exhaustion), cancel
+		// the workers, drain the channel so none block on send, and wait
+		// for them all to exit before returning.
+		defer func() {
+			cancel()
+			for {
+				select {
+				case <-ch:
+				case <-done:
+					if panicked != nil {
+						panic(panicked)
+					}
+					return
+				}
+			}
+		}()
+		delivered := 0
+		for delivered < n {
+			select {
+			case it := <-ch:
+				if it.err != nil {
+					yield(Indexed[T]{}, sweepErr(ctx, it.err))
+					return
+				}
+				delivered++
+				if !yield(Indexed[T]{I: it.idx, V: it.val}, nil) {
+					return
+				}
+			case <-done:
+				// Workers exited without delivering everything: parent
+				// cancellation or a worker panic (re-raised by the defer).
+				if err := ctx.Err(); err != nil {
+					yield(Indexed[T]{}, err)
+				}
+				return
+			}
+		}
+	}
 }
 
 // Cache is a concurrency-safe single-flight memo: concurrent Get calls
@@ -127,6 +315,16 @@ func (c *Cache[K, V]) Get(k K, fill func() (V, error)) (V, error) {
 	c.mu.Unlock()
 	e.once.Do(func() { e.val, e.err = fill() })
 	return e.val, e.err
+}
+
+// Forget drops the entry for k so a later Get refills it. Callers use it
+// to evict cancellation errors from long-lived caches: a fill aborted by
+// context cancellation is not a fact about the key, and must not poison
+// every future Get the way a genuine fill error should.
+func (c *Cache[K, V]) Forget(k K) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.m, k)
 }
 
 // Len reports the number of distinct keys filled or in flight.

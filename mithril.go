@@ -5,24 +5,39 @@
 // 1/2 configuration math, and experiment drivers that regenerate each
 // evaluation figure and table.
 //
-// Quick start:
+// Quick start — construct an Engine once, then drive everything through
+// it with a context:
 //
+//	eng := mithril.NewEngine(mithril.DDR5())
 //	scheme, _ := mithril.NewScheme("mithril", mithril.SchemeOptions{
 //	    Timing: mithril.DDR5(), FlipTH: 6250,
 //	})
-//	cmp, _ := mithril.Compare(mithril.SimConfig{
-//	    Params: mithril.DDR5(), FlipTH: 6250,
+//	cmp, _ := eng.Compare(ctx, mithril.SimConfig{
+//	    FlipTH: 6250,
 //	    Scheduler: mithril.BLISS, Policy: mithril.MinimalistOpen,
 //	}, mithril.MixHigh(16, 1), scheme)
 //	fmt.Printf("relative perf %.2f%%\n", cmp.RelativePerformance)
 //
-// Experiment sweeps (Figure7Data, Figure9Data, Figure10Data, Figure11Data,
+// Experiment sweeps (Engine.RunSpec over a declarative spec, or the
+// figure wrappers Figure7Data, Figure9Data, Figure10Data, Figure11Data,
 // SafetySweep) fan their independent simulation cells out over a worker
 // pool sized by Scale.Jobs (0 = all cores, 1 = serial); parallel and
-// serial runs produce identical results in identical order.
+// serial runs produce identical results in identical order. Engine.Stream
+// yields grid points as workers finish them, for consumers that need
+// partial results before the sweep completes.
+//
+// Mitigation schemes live in an open registry: the paper's Table I set is
+// built in, and out-of-tree schemes plug in via mitigation.Register
+// without touching the controller (see NewScheme).
+//
+// The pre-Engine package-level entry points (Run, Compare, RunParallel)
+// remain as thin deprecated shims over a default Engine; see the README's
+// migration table and deprecation policy.
 package mithril
 
 import (
+	"context"
+
 	"mithril/internal/analysis"
 	"mithril/internal/expspec"
 	"mithril/internal/mc"
@@ -78,17 +93,31 @@ const (
 // DDR5 returns the paper's DDR5-4800 parameter set (Table III).
 func DDR5() TimingParams { return timing.DDR5() }
 
-// NewScheme builds a mitigation by name: "none", "para", "parfm",
-// "graphene", "twice", "cbt", "blockhammer", "mithril", "mithril+".
+// NewScheme builds a mitigation by registered name; the shipped registry
+// is the paper's Table I set ("blockhammer", "cbt", "graphene", "mithril",
+// "mithril+", "none", "para", "parfm", "twice"). An unknown name yields an
+// error wrapping ErrUnknownScheme that lists the valid names. Out-of-tree
+// schemes registered via mitigation.Register are buildable here too.
 func NewScheme(name string, opt SchemeOptions) (Scheme, error) {
 	return mitigation.Build(name, opt)
 }
 
-// SchemeNames lists the buildable scheme names.
+// ErrUnknownScheme is wrapped by NewScheme's error for a name no scheme is
+// registered under; match with errors.Is.
+var ErrUnknownScheme = mitigation.ErrUnknownScheme
+
+// SchemeNames lists the registered scheme names. The sorted order is a
+// documented, tested guarantee — consumers may render it directly in
+// error messages and service responses.
 func SchemeNames() []string { return mitigation.Names() }
 
 // Run executes one simulation.
-func Run(cfg SimConfig) (SimResult, error) { return sim.Run(cfg) }
+//
+// Deprecated: use Engine.Run, which takes a context for cancellation.
+// This shim runs on a default Engine with context.Background().
+func Run(cfg SimConfig) (SimResult, error) {
+	return defaultEngine.Run(context.Background(), cfg)
+}
 
 // DefaultJobs returns the sweep engine's default worker count: one per
 // available core. Scale.Jobs = 0 resolves to this.
@@ -96,17 +125,21 @@ func DefaultJobs() int { return sweep.DefaultJobs() }
 
 // RunParallel executes fn(0..n-1) on up to jobs workers (0 = all cores)
 // and returns the results in index order; the first error cancels cells
-// that have not started. The experiment sweeps run on this engine; it is
-// exported so downstream studies (see examples/scheduler_study) can fan
-// out their own simulation grids.
+// that have not started.
+//
+// Deprecated: use RunParallelContext, which threads a context into every
+// cell so a cancelled grid stops mid-cell instead of draining.
 func RunParallel[T any](jobs, n int, fn func(i int) (T, error)) ([]T, error) {
 	return sweep.Run(jobs, n, fn)
 }
 
 // Compare runs a workload unprotected and protected and reports normalized
 // performance and energy.
+//
+// Deprecated: use Engine.Compare, which takes a context for cancellation.
+// This shim runs on a default Engine with context.Background().
 func Compare(cfg SimConfig, w Workload, s Scheme) (Comparison, error) {
-	return sim.RunComparison(cfg, w, s)
+	return defaultEngine.Compare(context.Background(), cfg, w, s)
 }
 
 // Configure computes the minimal Mithril table for a (FlipTH, RFMTH, AdTH)
