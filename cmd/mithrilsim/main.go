@@ -33,6 +33,9 @@
 //	all       everything above
 //	run       execute an experiment spec: run <spec.json | shipped-name>
 //	list      list the shipped experiment specs
+//	schemes   list the open mitigation-scheme registry
+//	workloads list the open workload registry (and the trace:<path> form)
+//	attacks   list the open attack-pattern registry
 //	diff      run a spec and diff its golden-format output against a file:
 //	          diff <spec.json | shipped-name> <golden.txt>
 //	serve     HTTP service: POST /run streams a spec's rows as NDJSON
@@ -135,6 +138,9 @@ var commands = []command{
 	{name: "safety", inAll: true, run: safetyCmd},
 	{name: "run", args: "<spec.json>", nargs: 1, run: runCmd},
 	{name: "list", run: listCmd},
+	{name: "schemes", run: schemesCmd},
+	{name: "workloads", run: workloadsCmd},
+	{name: "attacks", run: attacksCmd},
 	{name: "diff", args: "<spec.json> <golden.txt>", nargs: 2, run: diffCmd},
 	{name: "serve", run: serveCmd},
 }
@@ -328,6 +334,38 @@ func listCmd(_ context.Context, e env, _ []string) error {
 		}
 		t.Add(sp.Name, string(sp.Kind), sp.Scale.Preset,
 			strconv.Itoa(len(sp.Expand(sc))), sp.Title)
+	}
+	fmt.Print(t)
+	return nil
+}
+
+// schemesCmd prints the open mitigation registry, one sorted name per
+// line — the same inventory spec validation and the serve /schemes
+// endpoint use, so CI can diff it against the README's scenario catalog.
+func schemesCmd(_ context.Context, _ env, _ []string) error {
+	for _, n := range mithril.SchemeNames() {
+		fmt.Println(n)
+	}
+	return nil
+}
+
+// workloadsCmd prints the open workload registry with descriptions, plus
+// the trace:<path> replay form every workload axis accepts.
+func workloadsCmd(_ context.Context, _ env, _ []string) error {
+	t := stats.NewTable("name", "description")
+	for _, w := range mithril.WorkloadCatalog() {
+		t.Add(w.Name, w.Desc)
+	}
+	t.Add("trace:<path>", "replay a recorded access-trace file (format: README \"Trace-file format\")")
+	fmt.Print(t)
+	return nil
+}
+
+// attacksCmd prints the open attack-pattern registry with descriptions.
+func attacksCmd(_ context.Context, _ env, _ []string) error {
+	t := stats.NewTable("name", "description")
+	for _, a := range mithril.AttackCatalog() {
+		t.Add(a.Name, a.Desc)
 	}
 	fmt.Print(t)
 	return nil

@@ -9,10 +9,12 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"mithril"
 	"mithril/internal/expspec"
+	"mithril/internal/trace"
 )
 
 // maxSpecBytes bounds a POSTed spec body; real specs are a few hundred
@@ -23,7 +25,9 @@ const maxSpecBytes = 1 << 20
 // Engine API. POST /run takes a spec document and streams its output rows
 // back as NDJSON while the sweep executes; a client that disconnects
 // mid-sweep cancels the workers through the request context. GET /healthz
-// reports readiness and GET /schemes the open mitigation registry.
+// reports readiness, GET /schemes the open mitigation registry (sorted
+// names), and GET /workloads and GET /attacks the open workload and
+// attack-pattern registries (sorted {name, desc} objects).
 func serveCmd(ctx context.Context, e env, _ []string) error {
 	srv := &http.Server{
 		Addr:    e.addr,
@@ -57,6 +61,14 @@ func newServeHandler(e env) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(mithril.SchemeNames())
 	})
+	mux.HandleFunc("/workloads", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(mithril.WorkloadCatalog())
+	})
+	mux.HandleFunc("/attacks", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(mithril.AttackCatalog())
+	})
 	mux.HandleFunc("/run", func(w http.ResponseWriter, r *http.Request) { handleRun(e, w, r) })
 	return mux
 }
@@ -87,6 +99,17 @@ func handleRun(e env, w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
+	}
+	// trace:<path> workloads read server-local files; accepting them from
+	// the network would let any client probe the server's filesystem (and
+	// read fragments of it back through parse errors). Trace replays are
+	// a CLI/library feature.
+	for _, name := range sp.Axes.Workloads {
+		if strings.HasPrefix(name, trace.TracePrefix) {
+			http.Error(w, fmt.Sprintf("workload %q: trace-file workloads are not accepted over HTTP (the path would be read on the server); run the spec with the mithrilsim CLI instead", name),
+				http.StatusBadRequest)
+			return
+		}
 	}
 	sc, err := sp.Scale.Resolve()
 	if err != nil {

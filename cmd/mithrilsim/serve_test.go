@@ -106,6 +106,23 @@ func TestServeRunRejectsBadRequests(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("unknown-scheme spec status = %d, want 400", resp.StatusCode)
 	}
+	// trace:<path> names a server-local file; accepting it over HTTP
+	// would hand clients a filesystem probe, so it must 400 before any
+	// file is opened.
+	resp, err = http.Post(ts.URL+"/run", "application/json",
+		strings.NewReader(`{"name":"x","kind":"comparison","scale":{"preset":"quick"},"axes":{"schemes":["mithril"],"workloads":["trace:/etc/passwd"]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 256)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("trace-workload spec status = %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(string(body[:n]), "not accepted over HTTP") {
+		t.Fatalf("trace-workload rejection body = %q", body[:n])
+	}
 }
 
 func TestServeHealthAndSchemes(t *testing.T) {
@@ -127,6 +144,45 @@ func TestServeHealthAndSchemes(t *testing.T) {
 	resp.Body.Close()
 	if len(names) == 0 || names[0] != "blockhammer" {
 		t.Fatalf("schemes = %v, want the sorted registry", names)
+	}
+}
+
+// The /workloads and /attacks endpoints expose the open registries as
+// sorted {name, desc} catalogs.
+func TestServeWorkloadAndAttackCatalogs(t *testing.T) {
+	ts := httptest.NewServer(newServeHandler(env{}))
+	defer ts.Close()
+	cases := []struct {
+		path  string
+		first string
+	}{
+		{"/workloads", "fft"},
+		{"/attacks", "blockhammer-adversarial"},
+	}
+	for _, c := range cases {
+		resp, err := http.Get(ts.URL + c.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s content type = %q", c.path, ct)
+		}
+		var catalog []struct {
+			Name string `json:"name"`
+			Desc string `json:"desc"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&catalog); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if len(catalog) == 0 || catalog[0].Name != c.first {
+			t.Fatalf("%s = %v, want the sorted registry starting at %q", c.path, catalog, c.first)
+		}
+		for _, entry := range catalog {
+			if entry.Desc == "" {
+				t.Errorf("%s entry %q has no description", c.path, entry.Name)
+			}
+		}
 	}
 }
 

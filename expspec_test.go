@@ -22,17 +22,19 @@ func TestShippedSpecsValidate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(specs) < 13 {
+	if len(specs) < 14 {
 		t.Fatalf("only %d shipped specs found", len(specs))
 	}
-	// Every simulation figure ships quick and full variants, and the CI
-	// golden gate needs the golden variants.
+	// Every simulation figure ships quick and full variants, the CI
+	// golden gate needs the golden variants, and the scenario sampler
+	// exercises the attacks axis and the trace-file workload.
 	want := []string{
 		"figure7.quick", "figure7.full",
 		"figure9.quick", "figure9.full", "figure9.golden",
 		"figure10.quick", "figure10.full", "figure10.golden",
 		"figure11.quick", "figure11.full",
 		"safety.quick", "safety.full", "safety.golden",
+		"scenario.quick",
 	}
 	byName := map[string]*expspec.Spec{}
 	for _, s := range specs {
@@ -66,6 +68,49 @@ func TestShippedSpecsValidate(t *testing.T) {
 // workload construction).
 func roundTripScale() Scale {
 	return Scale{Cores: 4, InstrPerCore: 2_000, FlipTHs: []int{6250}, Seed: 1, TimeScale: 8}
+}
+
+// TestScenarioSpecRoundTrip runs the shipped scenario sampler — the spec
+// that exercises the attacks axis and the trace:<path> workload — at a
+// unit-test scale and emits it in every machine format, pinning the
+// acceptance path `mithrilsim run scenario.quick -format=...` exercises.
+func TestScenarioSpecRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	sp, err := expspec.LoadFS(SpecsFS(), "specs/scenario.quick.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := roundTripScale()
+	res, err := sp.RunAt(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := sp.Expand(sc)
+	if len(res.Perf) != len(cells) {
+		t.Fatalf("emitted %d rows for %d cells", len(res.Perf), len(cells))
+	}
+	// Per scheme: the trace-replay workload row, then the attack rows
+	// under their generators' display names.
+	wantWorkloads := []string{"trace:testdata/sample_workload.trace", "multi-sided-8", "decoy-4"}
+	for i, p := range res.Perf {
+		if want := wantWorkloads[i%len(wantWorkloads)]; p.Workload != want {
+			t.Errorf("row %d workload = %q, want %q", i, p.Workload, want)
+		}
+		if p.RelativePerformance <= 0 {
+			t.Errorf("row %d has no measured performance: %+v", i, p)
+		}
+	}
+	for _, format := range []string{expspec.FormatTable, expspec.FormatCSV, expspec.FormatJSON} {
+		var b strings.Builder
+		if err := res.Emit(&b, format); err != nil {
+			t.Fatalf("emit %s: %v", format, err)
+		}
+		if !strings.Contains(b.String(), "multi-sided-8") {
+			t.Errorf("%s output lacks the attack row:\n%s", format, b.String())
+		}
+	}
 }
 
 func TestSpecDrivenFigure10RoundTrip(t *testing.T) {

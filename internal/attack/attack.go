@@ -90,6 +90,34 @@ func newRowAttack(name string, mapper *mc.AddressMapper, channel, bank int, rows
 	return &RowHammer{name: name, mapper: mapper, locs: locs}
 }
 
+// NewDecoy builds the TRR-evasion pattern: a double-sided pair around
+// victim, interleaved with n decoy rows far from the victim that each
+// receive twice the aggressors' activation rate. A sampling-based
+// in-DRAM mitigation (TRR) that refreshes neighbours of the hottest
+// sampled rows spends its mitigations on the decoys' neighbourhoods
+// while the true aggressors keep accumulating activations — the
+// many-sided evasion trick of TRRespass-class attacks. Against the
+// paper's exhaustive trackers the decoys are just extra traffic.
+func NewDecoy(mapper *mc.AddressMapper, channel, bank, victim, decoys int) (trace.Generator, error) {
+	rows := mapper.Params().Rows
+	if victim-1 < 0 || victim+1 >= rows {
+		return nil, fmt.Errorf("attack: decoy victim %d has no neighbours in a bank of %d rows", victim, rows)
+	}
+	if decoys < 1 {
+		return nil, fmt.Errorf("attack: decoy needs at least one decoy row, got %d", decoys)
+	}
+	// The access cycle hits every decoy twice per aggressor visit, so the
+	// decoys dominate any activation sample while the pair still hammers.
+	var seq []int
+	for _, aggressor := range []int{victim - 1, victim + 1} {
+		for i := 0; i < decoys; i++ {
+			seq = append(seq, (victim+96+8*i)%rows)
+		}
+		seq = append(seq, aggressor)
+	}
+	return NewRowList(fmt.Sprintf("decoy-%d", decoys), mapper, channel, bank, seq), nil
+}
+
 // VictimRowsOfMultiSided returns the victim rows between the aggressors of
 // a multi-sided attack starting at firstRow, for checker assertions.
 func VictimRowsOfMultiSided(firstRow, nVictims int) []int {
@@ -113,16 +141,21 @@ type Throttler interface {
 // NewBlockHammerAdversary builds the Figure 10(c) pattern: it hammers rows
 // that collide (in the scheme's counting Bloom filters) with benignHotRow,
 // activating each just enough to push the shared counters past the
-// blacklist threshold so the benign row gets throttled. When the deployed
-// scheme exposes no collision oracle (i.e. it is not BlockHammer), the
-// pattern degrades into a benign-looking multi-row walk — exactly how the
-// paper's adversarial pattern behaves against non-throttling schemes.
-func NewBlockHammerAdversary(mapper *mc.AddressMapper, channel, bank int, benignHotRow int, scheme interface{}) trace.Generator {
+// blacklist threshold so the benign row gets throttled. The oracle is the
+// deployed scheme's collision interface; callers holding an mc.Scheme
+// extract it with a checked type assertion (`scheme.(Throttler)`), which
+// yields nil for schemes that expose none. With a nil oracle (i.e. the
+// scheme is not BlockHammer) the pattern degrades into a benign-looking
+// multi-row walk — exactly how the paper's adversarial pattern behaves
+// against non-throttling schemes. Taking the named interface instead of
+// interface{} makes a wrong argument (a workload, a mapper) a compile
+// error instead of a silent fallback.
+func NewBlockHammerAdversary(mapper *mc.AddressMapper, channel, bank int, benignHotRow int, oracle Throttler) trace.Generator {
 	loc := mc.Location{Channel: channel, Bank: bank, Row: benignHotRow}
 	globalBank := mapper.Map(mapper.Compose(loc)).GlobalBank
 	var rows []int
-	if th, ok := scheme.(Throttler); ok {
-		for _, r := range th.CollidingRows(globalBank, uint32(benignHotRow), 8) {
+	if oracle != nil {
+		for _, r := range oracle.CollidingRows(globalBank, uint32(benignHotRow), 8) {
 			rows = append(rows, int(r))
 		}
 	}

@@ -107,7 +107,7 @@ func TestBlockHammerAdversaryUsesCollisionOracle(t *testing.T) {
 
 func TestBlockHammerAdversaryFallsBackWithoutOracle(t *testing.T) {
 	m := mapper()
-	adv := NewBlockHammerAdversary(m, 0, 2, 512, struct{}{})
+	adv := NewBlockHammerAdversary(m, 0, 2, 512, nil)
 	rows := map[int]bool{}
 	for i := 0; i < 40; i++ {
 		loc := m.Map(adv.Next().Addr)

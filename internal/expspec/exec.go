@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"iter"
 	"sort"
+	"strings"
 	"sync"
 
 	"mithril/internal/analysis"
@@ -38,35 +39,29 @@ func BaseSimConfig(flipTH int, sc Scale) sim.Config {
 
 // ---------------------------------------------------------------- registries
 
-// benignWorkloads maps spec workload names to the paper's benign generator
-// sets.
-var benignWorkloads = map[string]func(cores int, seed uint64) trace.Workload{
-	"mix-high":  trace.MixHigh,
-	"mix-blend": trace.MixBlend,
-	"fft":       trace.FFT,
-	"radix":     trace.Radix,
-	"pagerank":  trace.PageRank,
-}
-
-func benignWorkloadNames() []string { return sortedKeys(benignWorkloads) }
-
-// Comparison meta-workloads: "normal" is the scale's benign set reduced to
-// one geomean row; "multi-sided-rh" is the Figure 10(b) attack.
+// Benign workload names resolve through the open registry in
+// internal/trace (trace.BuildWorkload), which also understands the
+// "trace:<path>" replay form; attack names resolve through the open
+// registry in internal/attack (attack.Build). This package adds only the
+// two comparison meta-workloads that depend on the experiment scale:
+// "normal" is the scale's benign set reduced to one geomean row;
+// "multi-sided-rh" is the Figure 10(b) attack.
 const (
 	normalSet    = "normal"
 	multiSidedRH = "multi-sided-rh"
 )
 
-func knownComparisonWorkload(name string) bool {
+// validateComparisonWorkload accepts the meta-workloads plus anything the
+// workload registry can build; its error lists the meta names too, so a
+// typo of "normal" is steered back to the full vocabulary.
+func validateComparisonWorkload(name string) error {
 	if name == normalSet || name == multiSidedRH {
-		return true
+		return nil
 	}
-	_, ok := benignWorkloads[name]
-	return ok
-}
-
-func comparisonWorkloadNames() []string {
-	return append([]string{normalSet, multiSidedRH}, benignWorkloadNames()...)
+	if err := trace.ValidateWorkloadName(name); err != nil {
+		return fmt.Errorf("%w; comparison also accepts %q and %q", err, normalSet, multiSidedRH)
+	}
+	return nil
 }
 
 // adthWorkloads maps the Figure 7 workload classes to generators, plus the
@@ -81,27 +76,14 @@ var adthWorkloads = map[string]struct {
 
 func adthWorkloadNames() []string { return sortedKeys(adthWorkloads) }
 
-// attackPatterns maps safety-spec workload names to attack builders.
+// safetyBackground builds the benign core a safety attack runs alongside.
 // Background core first, attacker last: the run ends when the benign core
 // finishes even if the attacker is throttled to a crawl. The background
 // must be memory-bound (footprint ≫ LLC) so the attacker gets a realistic
 // time window.
-var attackPatterns = map[string]func(mapper *mc.AddressMapper) []trace.Generator{
-	"double-sided": func(mapper *mc.AddressMapper) []trace.Generator {
-		return []trace.Generator{
-			trace.NewStream("bg", 1<<28, 64<<20, 10, 4),
-			attack.NewDoubleSided(mapper, 0, 0, 1000),
-		}
-	},
-	"multi-sided-32": func(mapper *mc.AddressMapper) []trace.Generator {
-		return []trace.Generator{
-			trace.NewStream("bg", 1<<28, 64<<20, 10, 4),
-			attack.NewMultiSided(mapper, 0, 0, 2000, 32),
-		}
-	},
+func safetyBackground() trace.Generator {
+	return trace.NewStream("bg", 1<<28, 64<<20, 10, 4)
 }
-
-func attackPatternNames() []string { return sortedKeys(attackPatterns) }
 
 func sortedKeys[V any](m map[string]V) []string {
 	names := make([]string, 0, len(m))
@@ -381,6 +363,39 @@ func multiSidedWorkload(sc Scale, seed uint64) trace.Workload {
 	}
 }
 
+// attackWorkload builds one comparison attacks-axis workload: the benign
+// mix-high cores with the last core replaced by the named registry
+// pattern at its paper-default coordinates — the same arrangement as
+// multi-sided-rh, for any registered attack. The workload is named after
+// the built generator ("multi:8" measures as workload "multi-sided-8"),
+// so baseline-cache keys and output rows are distinct per pattern. The
+// pattern is built once up front to surface bad names/arguments before
+// the sweep starts; Fresh rebuilds it per simulation because generators
+// are stateful.
+func attackWorkload(sc Scale, seed uint64, name string) (trace.Workload, error) {
+	mapper := mc.NewAddressMapper(sc.Params())
+	n := sc.attackCores()
+	benign := trace.MixHigh(n, seed)
+	gen, err := attack.Build(name, attack.Params{Mapper: mapper})
+	if err != nil {
+		return trace.Workload{}, err
+	}
+	return trace.Workload{
+		Name:      gen.Name(),
+		Attackers: 1,
+		Fresh: func() []trace.Generator {
+			gens := benign.Fresh()
+			g, err := attack.Build(name, attack.Params{Mapper: mapper})
+			if err != nil {
+				// Build is deterministic and succeeded above.
+				panic(fmt.Sprintf("expspec: attack %q failed on rebuild: %v", name, err))
+			}
+			gens[len(gens)-1] = g
+			return gens
+		},
+	}, nil
+}
+
 // adversarialWorkload builds the Figure 10(c) workload: benign cores with
 // one hot-row service core, plus a BlockHammer-collision adversary aimed at
 // the service core's rows. Against non-throttling schemes the adversary's
@@ -545,10 +560,17 @@ func (s *Spec) seeds(sc Scale) []uint64 {
 }
 
 // seedSet is the per-seed workload state a comparison spec prepares once
-// and reuses across its grid rows.
+// and reuses across its grid rows. Named workloads (registry and
+// trace-file) and attacks-axis workloads are prebuilt here so build
+// errors — an unknown name, a malformed trace file — surface before the
+// sweep starts; trace-file workloads are additionally shared across
+// seeds (a replay ignores the seed), so each file is parsed exactly once
+// per execution.
 type seedSet struct {
 	normals []trace.Workload
 	rhW     trace.Workload
+	named   map[string]trace.Workload // workloads axis, by spec name
+	attacks map[string]trace.Workload // attacks axis, by registry name
 }
 
 // rowRunner executes one spec at one scale, one output row at a time: the
@@ -584,11 +606,31 @@ func (s *Spec) newRowRunner(sc Scale, opts *ExecOptions) (*rowRunner, error) {
 		onRow: opts.progress(),
 	}
 	rr.total = len(rr.cells)
+	// buildNamed resolves one workloads-axis name. Trace replays are
+	// seed-independent, so one build (one file parse) serves every seed.
+	traceShared := map[string]trace.Workload{}
+	buildNamed := func(name string, seed uint64) (trace.Workload, error) {
+		if !strings.HasPrefix(name, trace.TracePrefix) {
+			return trace.BuildWorkload(name, sc.Cores, seed)
+		}
+		w, ok := traceShared[name]
+		if !ok {
+			var err error
+			if w, err = trace.BuildWorkload(name, sc.Cores, seed); err != nil {
+				return trace.Workload{}, err
+			}
+			traceShared[name] = w
+		}
+		return w, nil
+	}
 	switch s.Kind {
 	case Comparison:
 		rr.sets = map[uint64]*seedSet{}
 		for _, seed := range s.seeds(sc) {
-			set := &seedSet{}
+			set := &seedSet{
+				named:   map[string]trace.Workload{},
+				attacks: map[string]trace.Workload{},
+			}
 			rr.sets[seed] = set
 			for _, name := range s.Axes.Workloads {
 				switch name {
@@ -596,16 +638,40 @@ func (s *Spec) newRowRunner(sc Scale, opts *ExecOptions) (*rowRunner, error) {
 					set.normals = normalWorkloads(sc, seed)
 				case multiSidedRH:
 					set.rhW = multiSidedWorkload(sc, seed)
+				default:
+					w, err := buildNamed(name, seed)
+					if err != nil {
+						return nil, err
+					}
+					set.named[name] = w
 				}
+			}
+			for _, name := range s.Axes.Attacks {
+				w, err := attackWorkload(sc, seed, name)
+				if err != nil {
+					return nil, err
+				}
+				set.attacks[name] = w
 			}
 		}
 	case SafetyKind:
 		rr.mapper = mc.NewAddressMapper(sc.Params())
+		// Trial-build every pattern (sans oracle) so bad coordinates —
+		// an out-of-bank multi:<n>, say — fail here, before the sweep,
+		// exactly as comparison specs fail in attackWorkload.
+		for _, a := range s.Axes.Attacks {
+			if _, err := attack.Build(a, attack.Params{Mapper: rr.mapper}); err != nil {
+				return nil, err
+			}
+		}
 	case ConfigGrid:
-		build := benignWorkloads[s.Axes.Workloads[0]]
 		rr.workloads = map[uint64]trace.Workload{}
 		for _, seed := range s.seeds(sc) {
-			rr.workloads[seed] = build(sc.Cores, seed)
+			w, err := buildNamed(s.Axes.Workloads[0], seed)
+			if err != nil {
+				return nil, err
+			}
+			rr.workloads[seed] = w
 		}
 	case AdTHSweep:
 		// One baseline per (seed, workload): the unprotected run is
@@ -688,6 +754,18 @@ func (rr *rowRunner) comparisonRow(ctx context.Context, c Cell) (*PerfPoint, err
 		return &pt, nil
 	}
 	set := rr.sets[c.Seed]
+	if c.Attack != "" {
+		scheme, err := rr.buildScheme(c.Scheme, c.FlipTH, c.Seed)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := rr.r.measure(ctx, scheme, c.Seed, c.FlipTH, set.attacks[c.Attack])
+		if err != nil {
+			return nil, err
+		}
+		pt.TableKB = schemeTableKB(c.Scheme, c.FlipTH)
+		return &pt, nil
+	}
 	if c.Workload == normalSet {
 		var perfs []float64
 		var energySum float64
@@ -715,7 +793,7 @@ func (rr *rowRunner) comparisonRow(ctx context.Context, c Cell) (*PerfPoint, err
 	}
 	w := set.rhW
 	if c.Workload != multiSidedRH {
-		w = benignWorkloads[c.Workload](rr.sc.Cores, c.Seed)
+		w = set.named[c.Workload]
 	}
 	scheme, err := rr.buildScheme(c.Scheme, c.FlipTH, c.Seed)
 	if err != nil {
@@ -729,16 +807,26 @@ func (rr *rowRunner) comparisonRow(ctx context.Context, c Cell) (*PerfPoint, err
 	return &pt, nil
 }
 
-// safetyRow attacks one scheme with one attack pattern in the full
-// simulator and reports the fault-model verdict.
+// safetyRow attacks one scheme with one registered attack pattern in the
+// full simulator and reports the fault-model verdict. The deployed
+// scheme's collision oracle (when it exposes one) is handed to the
+// pattern build, so oracle-driven patterns like blockhammer-adversarial
+// aim at the actual filters under test. The reported Attack is the built
+// generator's display name ("multi:32" reports as "multi-sided-32"),
+// which keeps the pre-registry golden lines byte-identical.
 func (rr *rowRunner) safetyRow(ctx context.Context, c Cell) (*SafetyResult, error) {
 	scheme, err := rr.buildScheme(c.Scheme, c.FlipTH, c.Seed)
 	if err != nil {
 		return nil, err
 	}
+	oracle, _ := scheme.(attack.Throttler)
+	gen, err := attack.Build(c.Attack, attack.Params{Mapper: rr.mapper, Oracle: oracle})
+	if err != nil {
+		return nil, err
+	}
 	cfg := BaseSimConfig(c.FlipTH, rr.sc)
 	cfg.Scheme = scheme
-	cfg.Workload = attackPatterns[c.Workload](rr.mapper)
+	cfg.Workload = []trace.Generator{safetyBackground(), gen}
 	cfg.InstrPerCore = rr.sc.InstrPerCore * attackInstrFactor
 	cfg.RequireCores = 1 // benign core only
 	res, err := sim.RunContext(ctx, cfg)
@@ -746,7 +834,7 @@ func (rr *rowRunner) safetyRow(ctx context.Context, c Cell) (*SafetyResult, erro
 		return nil, err
 	}
 	return &SafetyResult{
-		Scheme: c.Scheme, Attack: c.Workload, FlipTH: c.FlipTH, Seed: c.Seed,
+		Scheme: c.Scheme, Attack: gen.Name(), FlipTH: c.FlipTH, Seed: c.Seed,
 		Flips: res.Safety.Flips, MaxDisturbance: res.Safety.MaxDisturbance,
 		Safe: res.Safety.Safe(),
 	}, nil

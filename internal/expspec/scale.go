@@ -1,8 +1,13 @@
 // Package expspec is the declarative experiment layer: a JSON spec format
 // describing an experiment grid (axes over scheme × FlipTH × workload ×
-// seed × adversarial flag at a named scale), validation and deterministic
-// grid expansion, and an executor that fans the expanded grid out over the
-// internal/sweep worker pool with single-flight baseline caching. Every
+// attack × seed × adversarial flag at a named scale), validation and
+// deterministic grid expansion, and an executor that fans the expanded
+// grid out over the internal/sweep worker pool with single-flight
+// baseline caching. Scheme, workload, and attack names resolve through
+// the open registries (internal/mitigation, internal/trace,
+// internal/attack), so a spec can name anything registered — including
+// out-of-tree entries and "trace:<path>" replay workloads — and
+// validation rejects unknown names before anything simulates. Every
 // execution is context-aware (cancellation stops the sweep within one grid
 // point and aborts in-flight simulations) and row-oriented: RunAtContext
 // collects rows in deterministic grid order, StreamAt yields the same rows

@@ -10,7 +10,9 @@ import (
 	"sort"
 
 	"mithril/internal/analysis"
+	"mithril/internal/attack"
 	"mithril/internal/mitigation"
+	"mithril/internal/trace"
 )
 
 // Kind selects the experiment family a spec expands into. Every kind shares
@@ -100,14 +102,24 @@ type Axes struct {
 	// FlipTHs overrides the scale's FlipTH sweep (comparison) or sets the
 	// attack thresholds (safety, required there).
 	FlipTHs []int `json:"flipths,omitempty"`
-	// Workloads names the measured workloads. Comparison accepts the
-	// benign generators ("mix-high", "mix-blend", "fft", "radix",
-	// "pagerank"), the geomean-reduced "normal" set, and the
-	// "multi-sided-rh" attack; safety accepts attack patterns
-	// ("double-sided", "multi-sided-32"); adth accepts the Figure 7
-	// classes ("multi-programmed", "multi-threaded"); configgrid accepts
-	// one benign generator.
+	// Workloads names the measured workloads. Comparison and configgrid
+	// resolve names through the open workload registry
+	// (trace.WorkloadNames lists the registered set; the shipped five are
+	// "mix-high", "mix-blend", "fft", "radix", "pagerank") and accept the
+	// "trace:<path>" form, which replays a recorded access-trace file;
+	// comparison additionally accepts the geomean-reduced "normal" set
+	// and the "multi-sided-rh" attack meta-workload. Adth accepts the
+	// Figure 7 classes ("multi-programmed", "multi-threaded"). Safety
+	// takes no workloads — its patterns live on the attacks axis.
 	Workloads []string `json:"workloads,omitempty"`
+	// Attacks names attack patterns from the open attack registry
+	// (attack.Names lists the set: "single", "double", "multi:<n>",
+	// "rowlist", "decoy:<n>", "blockhammer-adversarial", plus anything
+	// registered out of tree). Safety requires this axis (each pattern
+	// attacks one bank alongside a benign background core). Comparison
+	// accepts it too: each attack becomes a benign-mix-plus-attacker
+	// workload measured like "multi-sided-rh".
+	Attacks []string `json:"attacks,omitempty"`
 	// Seeds repeats the grid per seed (empty: the scale's seed).
 	Seeds []uint64 `json:"seeds,omitempty"`
 	// Adversarial adds the per-scheme BlockHammer-collision workload to
@@ -224,6 +236,9 @@ func (s *Spec) Validate() error {
 	if err := noDuplicates("workloads", s.Axes.Workloads); err != nil {
 		return fail("%v", err)
 	}
+	if err := validateAttackAxis(s.Axes.Attacks); err != nil {
+		return fail("%v", err)
+	}
 	if err := noDuplicates("seeds", s.Axes.Seeds); err != nil {
 		return fail("%v", err)
 	}
@@ -240,12 +255,21 @@ func (s *Spec) Validate() error {
 		if len(s.Axes.Schemes) == 0 {
 			return fail("comparison needs a non-empty schemes axis")
 		}
-		if len(s.Axes.Workloads) == 0 && !s.Axes.Adversarial {
-			return fail("comparison needs a non-empty workloads axis (or adversarial: true)")
+		if len(s.Axes.Workloads) == 0 && len(s.Axes.Attacks) == 0 && !s.Axes.Adversarial {
+			return fail("comparison needs a non-empty workloads or attacks axis (or adversarial: true)")
 		}
 		for _, w := range s.Axes.Workloads {
-			if !knownComparisonWorkload(w) {
-				return fail("unknown workload %q (known: %v)", w, comparisonWorkloadNames())
+			if err := validateComparisonWorkload(w); err != nil {
+				return fail("%v", err)
+			}
+		}
+		for _, a := range s.Axes.Attacks {
+			// Comparison attack workloads are built before any scheme
+			// exists, so no collision oracle can be wired in; silently
+			// running the oracle-less fallback would measure the wrong
+			// thing, so oracle-only patterns are rejected here.
+			if attack.NeedsOracle(a) {
+				return fail("attack %q needs the deployed scheme's collision oracle; use \"adversarial\": true for the per-scheme adversarial workload", a)
 			}
 		}
 		if len(s.Axes.Grid) > 0 || len(s.Axes.Configs) > 0 || len(s.Axes.AdTHs) > 0 {
@@ -258,16 +282,14 @@ func (s *Spec) Validate() error {
 		if len(s.Axes.FlipTHs) == 0 {
 			return fail("safety needs a non-empty flipths axis")
 		}
-		if len(s.Axes.Workloads) == 0 {
-			return fail("safety needs a non-empty workloads axis (attack patterns)")
+		if len(s.Axes.Workloads) > 0 {
+			return fail("safety takes no workloads axis — name its attack patterns on the attacks axis (known: %v)", attack.Names())
 		}
-		for _, w := range s.Axes.Workloads {
-			if _, ok := attackPatterns[w]; !ok {
-				return fail("unknown attack %q (known: %v)", w, attackPatternNames())
-			}
+		if len(s.Axes.Attacks) == 0 {
+			return fail("safety needs a non-empty attacks axis (known: %v)", attack.Names())
 		}
 		if s.Axes.Adversarial || len(s.Axes.Grid) > 0 || len(s.Axes.Configs) > 0 || len(s.Axes.AdTHs) > 0 {
-			return fail("safety accepts only schemes/flipths/workloads/seeds axes")
+			return fail("safety accepts only schemes/flipths/attacks/seeds axes")
 		}
 	case ConfigGrid:
 		if len(s.Axes.Grid) == 0 {
@@ -289,10 +311,10 @@ func (s *Spec) Validate() error {
 		if len(s.Axes.Workloads) != 1 {
 			return fail("configgrid needs exactly one benign workload")
 		}
-		if _, ok := benignWorkloads[s.Axes.Workloads[0]]; !ok {
-			return fail("unknown workload %q (known: %v)", s.Axes.Workloads[0], benignWorkloadNames())
+		if err := trace.ValidateWorkloadName(s.Axes.Workloads[0]); err != nil {
+			return fail("%v", err)
 		}
-		if len(s.Axes.Schemes) > 0 || len(s.Axes.FlipTHs) > 0 || s.Axes.Adversarial || len(s.Axes.Configs) > 0 || len(s.Axes.AdTHs) > 0 {
+		if len(s.Axes.Schemes) > 0 || len(s.Axes.FlipTHs) > 0 || s.Axes.Adversarial || len(s.Axes.Attacks) > 0 || len(s.Axes.Configs) > 0 || len(s.Axes.AdTHs) > 0 {
 			return fail("configgrid pairs mithril/mithril+ implicitly; only grid/workloads/seeds axes apply")
 		}
 	case AdTHSweep:
@@ -310,7 +332,7 @@ func (s *Spec) Validate() error {
 				return fail("unknown workload %q (known: %v)", w, adthWorkloadNames())
 			}
 		}
-		if len(s.Axes.Schemes) > 0 || len(s.Axes.FlipTHs) > 0 || s.Axes.Adversarial || len(s.Axes.Grid) > 0 {
+		if len(s.Axes.Schemes) > 0 || len(s.Axes.FlipTHs) > 0 || s.Axes.Adversarial || len(s.Axes.Attacks) > 0 || len(s.Axes.Grid) > 0 {
 			return fail("adth accepts only configs/adths/workloads/seeds axes")
 		}
 	default:
@@ -318,6 +340,33 @@ func (s *Spec) Validate() error {
 	}
 	if _, err := s.columns(); err != nil {
 		return fail("%v", err)
+	}
+	return nil
+}
+
+// validateAttackAxis checks every attacks-axis entry against the attack
+// registry (name and argument) and rejects two spellings of one
+// canonical pattern — "decoy" and "decoy:4" build the same generator and
+// would emit indistinguishable rows.
+func validateAttackAxis(attacks []string) error {
+	seen := map[string]string{}
+	for _, a := range attacks {
+		canon, err := attack.Canonical(a)
+		if err != nil {
+			return err
+		}
+		// A spec has nowhere to carry an explicit row list, so a
+		// rows-only pattern would validate and then fail on every run.
+		if attack.NeedsRows(a) {
+			return fmt.Errorf("attack %q takes an explicit row list and cannot be named in a spec (library use: mithril.NewAttack with AttackParams.Rows)", a)
+		}
+		if prev, dup := seen[canon]; dup {
+			if prev == a {
+				return fmt.Errorf("attacks: duplicate value %s", a)
+			}
+			return fmt.Errorf("attacks: %q duplicates %q (both are %s)", a, prev, canon)
+		}
+		seen[canon] = a
 	}
 	return nil
 }
@@ -349,21 +398,26 @@ func knownScheme(name string) bool {
 // workload is one cell: its member workloads are simulated individually and
 // geomean-reduced into the single row.
 type Cell struct {
-	Seed        uint64
-	FlipTH      int
-	RFMTH       int
-	AdTH        int
-	Scheme      string
-	Workload    string
+	Seed     uint64
+	FlipTH   int
+	RFMTH    int
+	AdTH     int
+	Scheme   string
+	Workload string
+	// Attack is the attack-registry name of an attack cell: the safety
+	// pattern, or the attacker of a comparison attacks-axis cell (whose
+	// output row carries the built generator's display name).
+	Attack      string
 	Adversarial bool
 }
 
 // Expand returns the output-row grid in deterministic emission order for
 // the scale sc (comparison specs without a flipths axis inherit the
-// scale's; configgrid cells whose (FlipTH, RFMTH) point is analytically
-// infeasible under Theorem 1 are excluded, so the returned cells pair
-// one-to-one with the rows a run emits). Expansion is pure: expanding
-// twice yields identical slices.
+// scale's; per scheme, workload cells come first, then attack cells, then
+// the adversarial cell; configgrid cells whose (FlipTH, RFMTH) point is
+// analytically infeasible under Theorem 1 are excluded, so the returned
+// cells pair one-to-one with the rows a run emits). Expansion is pure:
+// expanding twice yields identical slices.
 func (s *Spec) Expand(sc Scale) []Cell {
 	seeds := s.Axes.Seeds
 	if len(seeds) == 0 {
@@ -382,6 +436,9 @@ func (s *Spec) Expand(sc Scale) []Cell {
 					for _, w := range s.Axes.Workloads {
 						cells = append(cells, Cell{Seed: seed, FlipTH: flipTH, Scheme: scheme, Workload: w})
 					}
+					for _, a := range s.Axes.Attacks {
+						cells = append(cells, Cell{Seed: seed, FlipTH: flipTH, Scheme: scheme, Attack: a})
+					}
 					if s.Axes.Adversarial {
 						cells = append(cells, Cell{Seed: seed, FlipTH: flipTH, Scheme: scheme, Adversarial: true,
 							Workload: "bh-adversarial/" + scheme})
@@ -392,9 +449,9 @@ func (s *Spec) Expand(sc Scale) []Cell {
 	case SafetyKind:
 		for _, seed := range seeds {
 			for _, flipTH := range s.Axes.FlipTHs {
-				for _, attack := range s.Axes.Workloads {
+				for _, a := range s.Axes.Attacks {
 					for _, scheme := range s.Axes.Schemes {
-						cells = append(cells, Cell{Seed: seed, FlipTH: flipTH, Scheme: scheme, Workload: attack})
+						cells = append(cells, Cell{Seed: seed, FlipTH: flipTH, Scheme: scheme, Attack: a})
 					}
 				}
 			}

@@ -63,16 +63,38 @@ func TestValidateErrors(t *testing.T) {
 		{"foreign axis", func(s *Spec) { s.Axes.AdTHs = []int{50} }, "only to configgrid/adth"},
 		{"unknown column", func(s *Spec) { s.Columns = []string{"scheme", "latency"} }, "unknown column"},
 		{"duplicate column", func(s *Spec) { s.Columns = []string{"perf", "perf"} }, "duplicate"},
+		{"unknown attack", func(s *Spec) { s.Axes.Attacks = []string{"rowpress"} }, "unknown attack"},
+		{"bad attack argument", func(s *Spec) { s.Axes.Attacks = []string{"multi:zero"} }, "victim count"},
+		{"duplicate attack", func(s *Spec) { s.Axes.Attacks = []string{"double", "double"} }, "duplicate"},
+		{"canonically duplicate attack", func(s *Spec) { s.Axes.Attacks = []string{"decoy", "decoy:4"} }, "duplicates"},
+		{"oracle-only attack in comparison", func(s *Spec) {
+			s.Axes.Attacks = []string{"blockhammer-adversarial"}
+		}, "collision oracle"},
+		{"rows-only attack in a spec", func(s *Spec) {
+			s.Axes.Attacks = []string{"rowlist"}
+		}, "row list"},
 		{"safety needs flipths", func(s *Spec) {
 			s.Kind = SafetyKind
-			s.Axes.Workloads = []string{"double-sided"}
+			s.Axes.Workloads = nil
+			s.Axes.Attacks = []string{"double"}
 			s.Axes.FlipTHs = nil
 		}, "flipths"},
+		{"safety needs attacks", func(s *Spec) {
+			s.Kind = SafetyKind
+			s.Axes.Workloads = nil
+			s.Axes.FlipTHs = []int{2000}
+		}, "non-empty attacks"},
 		{"safety unknown attack", func(s *Spec) {
 			s.Kind = SafetyKind
+			s.Axes.Workloads = nil
 			s.Axes.FlipTHs = []int{2000}
-			s.Axes.Workloads = []string{"mix-high"}
+			s.Axes.Attacks = []string{"mix-high"}
 		}, "unknown attack"},
+		{"safety rejects workloads", func(s *Spec) {
+			s.Kind = SafetyKind
+			s.Axes.FlipTHs = []int{2000}
+			s.Axes.Attacks = []string{"double"}
+		}, "no workloads axis"},
 		{"configgrid empty grid", func(s *Spec) {
 			s.Kind = ConfigGrid
 			s.Axes = Axes{Workloads: []string{"mix-high"}}
@@ -105,6 +127,21 @@ func TestValidateErrors(t *testing.T) {
 				t.Errorf("Validate() = %v, want error containing %q", err, c.want)
 			}
 		})
+	}
+}
+
+// A safety attack whose argument is syntactically valid but whose
+// coordinates fall outside the bank must fail when the runner is built,
+// not rows-deep into the sweep.
+func TestSafetyAttackCoordinatesFailBeforeSweep(t *testing.T) {
+	s := &Spec{Name: "bad", Kind: SafetyKind, Scale: ScaleSpec{Preset: "quick"},
+		Axes: Axes{Schemes: []string{"none"}, FlipTHs: []int{2000}, Attacks: []string{"multi:40000"}}}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("multi:40000 is syntactically valid, got %v", err)
+	}
+	_, err := s.RunAt(QuickScale())
+	if err == nil || !strings.Contains(err.Error(), "outside bank") {
+		t.Errorf("RunAt = %v, want an outside-bank error before any simulation", err)
 	}
 }
 
@@ -147,6 +184,7 @@ func TestExpandDeterministicOrder(t *testing.T) {
 			Schemes:     []string{"parfm", "mithril"},
 			FlipTHs:     []int{6250, 1500},
 			Workloads:   []string{"normal", "multi-sided-rh"},
+			Attacks:     []string{"decoy"},
 			Adversarial: true,
 		},
 	}
@@ -162,15 +200,19 @@ func TestExpandDeterministicOrder(t *testing.T) {
 	want := []Cell{
 		{Seed: 1, FlipTH: 6250, Scheme: "parfm", Workload: "normal"},
 		{Seed: 1, FlipTH: 6250, Scheme: "parfm", Workload: "multi-sided-rh"},
+		{Seed: 1, FlipTH: 6250, Scheme: "parfm", Attack: "decoy"},
 		{Seed: 1, FlipTH: 6250, Scheme: "parfm", Workload: "bh-adversarial/parfm", Adversarial: true},
 		{Seed: 1, FlipTH: 6250, Scheme: "mithril", Workload: "normal"},
 		{Seed: 1, FlipTH: 6250, Scheme: "mithril", Workload: "multi-sided-rh"},
+		{Seed: 1, FlipTH: 6250, Scheme: "mithril", Attack: "decoy"},
 		{Seed: 1, FlipTH: 6250, Scheme: "mithril", Workload: "bh-adversarial/mithril", Adversarial: true},
 		{Seed: 1, FlipTH: 1500, Scheme: "parfm", Workload: "normal"},
 		{Seed: 1, FlipTH: 1500, Scheme: "parfm", Workload: "multi-sided-rh"},
+		{Seed: 1, FlipTH: 1500, Scheme: "parfm", Attack: "decoy"},
 		{Seed: 1, FlipTH: 1500, Scheme: "parfm", Workload: "bh-adversarial/parfm", Adversarial: true},
 		{Seed: 1, FlipTH: 1500, Scheme: "mithril", Workload: "normal"},
 		{Seed: 1, FlipTH: 1500, Scheme: "mithril", Workload: "multi-sided-rh"},
+		{Seed: 1, FlipTH: 1500, Scheme: "mithril", Attack: "decoy"},
 		{Seed: 1, FlipTH: 1500, Scheme: "mithril", Workload: "bh-adversarial/mithril", Adversarial: true},
 	}
 	if !reflect.DeepEqual(first, want) {
@@ -221,14 +263,14 @@ func TestExpandOtherKinds(t *testing.T) {
 
 	saf := &Spec{Name: "s", Kind: SafetyKind, Scale: ScaleSpec{Preset: "quick"},
 		Axes: Axes{Schemes: []string{"none", "mithril"}, FlipTHs: []int{2000},
-			Workloads: []string{"double-sided", "multi-sided-32"}}}
+			Attacks: []string{"double", "multi:32"}}}
 	if err := saf.Validate(); err != nil {
 		t.Fatal(err)
 	}
 	cells = saf.Expand(QuickScale())
 	// Attack outermost, schemes inner — the goldens pin this order.
-	if len(cells) != 4 || cells[0].Workload != "double-sided" || cells[1].Scheme != "mithril" ||
-		cells[2].Workload != "multi-sided-32" {
+	if len(cells) != 4 || cells[0].Attack != "double" || cells[1].Scheme != "mithril" ||
+		cells[2].Attack != "multi:32" {
 		t.Errorf("safety cells = %v", cells)
 	}
 }

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// WorkloadFactory constructs one workload instance for a core count and
+// seed. Factories must be deterministic: two calls with equal arguments
+// must produce workloads whose Fresh streams replay identically.
+type WorkloadFactory func(cores int, seed uint64) Workload
+
+// WorkloadInfo describes one registered workload for catalogs (the CLI's
+// `workloads` command, the serve endpoint, the README scenario table).
+type WorkloadInfo struct {
+	Name string `json:"name"`
+	Desc string `json:"desc"`
+}
+
+// registry maps workload names to factories. The paper's five benign
+// workloads register themselves from init functions in their own files;
+// out-of-tree workloads call RegisterWorkload from their package's init
+// and become usable by every consumer (spec validation, the CLI, the
+// serve endpoint) without touching this package. Guarded by a mutex so
+// late registration from plugin-style setup code is race-free.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]registration{}
+)
+
+type registration struct {
+	desc    string
+	factory WorkloadFactory
+}
+
+// TracePrefix is the name form that replays a recorded access trace
+// instead of a registered generator set: "trace:<path>" reads path in the
+// trace-file format documented in the README (plain text or gzip). The
+// prefix is reserved: RegisterWorkload rejects names that collide with it.
+const TracePrefix = "trace:"
+
+// RegisterWorkload adds a buildable workload under name. It panics on an
+// empty name, a nil factory, a duplicate registration, or a name using the
+// reserved "trace:" prefix — all programmer errors at package-init time,
+// not runtime conditions to handle.
+func RegisterWorkload(name, desc string, f WorkloadFactory) {
+	if name == "" {
+		panic("trace: RegisterWorkload with empty workload name")
+	}
+	if strings.HasPrefix(name, TracePrefix) {
+		panic(fmt.Sprintf("trace: RegisterWorkload(%q) collides with the reserved %q form", name, TracePrefix+"<path>"))
+	}
+	if f == nil {
+		panic(fmt.Sprintf("trace: RegisterWorkload(%q) with nil factory", name))
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("trace: duplicate RegisterWorkload(%q)", name))
+	}
+	registry[name] = registration{desc: desc, factory: f}
+}
+
+// ErrUnknownWorkload is returned (wrapped, with the valid names listed) by
+// BuildWorkload and ValidateWorkloadName for a name no factory is
+// registered under. Match with errors.Is.
+var ErrUnknownWorkload = errors.New("unknown workload")
+
+// WorkloadNames lists the registered workload names in sorted order. The
+// ordering is a documented guarantee (and pinned by a test): consumers
+// render the list in error messages, CLI catalogs, and service responses,
+// and a stable order keeps those byte-stable across registration-order
+// changes. The "trace:<path>" form is not a registered name and is not
+// listed.
+func WorkloadNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Workloads lists the registered workloads with their one-line
+// descriptions, sorted by name (the same guarantee as WorkloadNames).
+func Workloads() []WorkloadInfo {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	infos := make([]WorkloadInfo, 0, len(registry))
+	for n, r := range registry {
+		infos = append(infos, WorkloadInfo{Name: n, Desc: r.desc})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// ValidateWorkloadName checks that name is buildable without building it:
+// either a registered workload or a well-formed "trace:<path>" form. File
+// existence and trace syntax are deliberately not checked here — spec
+// validation must stay filesystem-independent (the serve endpoint
+// validates specs naming server-local paths) — so trace-file errors
+// surface when the workload is built, before any simulation runs.
+func ValidateWorkloadName(name string) error {
+	if strings.HasPrefix(name, TracePrefix) {
+		if strings.TrimPrefix(name, TracePrefix) == "" {
+			return fmt.Errorf("trace: %q names no file (want %s<path>)", name, TracePrefix)
+		}
+		return nil
+	}
+	registryMu.RLock()
+	_, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return fmt.Errorf("trace: %w %q (valid: %s, or %s<path>)",
+			ErrUnknownWorkload, name, strings.Join(WorkloadNames(), ", "), TracePrefix)
+	}
+	return nil
+}
+
+// BuildWorkload constructs a workload by name: a registered factory, or
+// the "trace:<path>" form, which parses the trace file (strictly — any
+// malformed line is an error) and replays it on every core. An
+// unregistered name yields an error wrapping ErrUnknownWorkload that
+// lists the valid names.
+func BuildWorkload(name string, cores int, seed uint64) (Workload, error) {
+	if strings.HasPrefix(name, TracePrefix) {
+		if err := ValidateWorkloadName(name); err != nil {
+			return Workload{}, err
+		}
+		return FileWorkload(strings.TrimPrefix(name, TracePrefix), cores)
+	}
+	registryMu.RLock()
+	r, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return Workload{}, fmt.Errorf("trace: %w %q (valid: %s, or %s<path>)",
+			ErrUnknownWorkload, name, strings.Join(WorkloadNames(), ", "), TracePrefix)
+	}
+	return r.factory(cores, seed), nil
+}

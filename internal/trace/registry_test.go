@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The sorted order of WorkloadNames is a documented guarantee; the five
+// paper workloads must be registered.
+func TestWorkloadNamesSortedAndComplete(t *testing.T) {
+	names := WorkloadNames()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("WorkloadNames() = %v, want sorted", names)
+	}
+	for _, want := range []string{"fft", "mix-blend", "mix-high", "pagerank", "radix"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("workload %q not registered (have %v)", want, names)
+		}
+	}
+	infos := Workloads()
+	if len(infos) != len(names) {
+		t.Fatalf("Workloads() = %d entries, WorkloadNames() = %d", len(infos), len(names))
+	}
+	for i, info := range infos {
+		if info.Name != names[i] {
+			t.Errorf("Workloads()[%d] = %q, want %q (same sorted order)", i, info.Name, names[i])
+		}
+		if info.Desc == "" {
+			t.Errorf("workload %q has no description", info.Name)
+		}
+	}
+}
+
+func TestRegisterWorkloadPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"empty name", func() { RegisterWorkload("", "d", MixHigh) }},
+		{"nil factory", func() { RegisterWorkload("t-nil", "d", nil) }},
+		{"duplicate", func() { RegisterWorkload("mix-high", "d", MixHigh) }},
+		{"reserved trace prefix", func() { RegisterWorkload("trace:foo", "d", MixHigh) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			c.fn()
+		})
+	}
+}
+
+// Registered factories build their own named workloads, and the error for
+// an unknown name lists the valid ones.
+func TestBuildWorkloadRegistered(t *testing.T) {
+	for _, name := range []string{"fft", "mix-blend", "mix-high", "pagerank", "radix"} {
+		w, err := BuildWorkload(name, 4, 1)
+		if err != nil {
+			t.Fatalf("BuildWorkload(%q): %v", name, err)
+		}
+		if w.Name != name {
+			t.Errorf("BuildWorkload(%q).Name = %q", name, w.Name)
+		}
+		if len(w.Fresh()) != 4 {
+			t.Errorf("BuildWorkload(%q) built %d generators, want 4", name, len(w.Fresh()))
+		}
+	}
+	_, err := BuildWorkload("spec2017", 4, 1)
+	if err == nil || !strings.Contains(err.Error(), "mix-high") {
+		t.Errorf("unknown-workload error should list valid names, got %v", err)
+	}
+}
+
+func TestValidateWorkloadName(t *testing.T) {
+	if err := ValidateWorkloadName("mix-high"); err != nil {
+		t.Errorf("mix-high: %v", err)
+	}
+	// trace:<path> is validated by shape only — the file is read at build.
+	if err := ValidateWorkloadName("trace:no/such/file.trace"); err != nil {
+		t.Errorf("trace form: %v", err)
+	}
+	if err := ValidateWorkloadName("trace:"); err == nil {
+		t.Error("trace: with empty path must fail validation")
+	}
+	if err := ValidateWorkloadName("spec2017"); err == nil {
+		t.Error("unknown name must fail validation")
+	}
+}

@@ -1,7 +1,5 @@
 package trace
 
-import "fmt"
-
 // Workload is a named set of per-core generators; Fresh rebuilds identical
 // generator state so baseline and protected runs replay the same stream.
 // Attackers counts trailing attacker cores: they are excluded from IPC
@@ -26,110 +24,11 @@ const (
 // multi-programmed workloads don't share rows.
 func coreRegion(core int) uint64 { return uint64(core) << 28 }
 
-// MixHigh is the paper's memory-intensive multi-programmed mix: every core
-// runs a high-MPKI kernel (streams, random walks, large sweeps).
-func MixHigh(cores int, seed uint64) Workload {
-	return Workload{
-		Name: "mix-high",
-		Fresh: func() []Generator {
-			gens := make([]Generator, cores)
-			for i := 0; i < cores; i++ {
-				base := coreRegion(i)
-				switch i % 4 {
-				case 0:
-					gens[i] = NewStream(fmt.Sprintf("lbm-%d", i), base, 128<<20, 12, 4)
-				case 1:
-					gens[i] = NewRandom(fmt.Sprintf("mcf-%d", i), base, 192<<20, 10, 0.25, seed+uint64(i))
-				case 2:
-					gens[i] = NewStrided(fmt.Sprintf("fotonik-%d", i), base, 96<<20, 33, 14)
-				default:
-					gens[i] = NewGatherScatter(fmt.Sprintf("roms-%d", i), base, 128<<20, 11, seed+uint64(i))
-				}
-			}
-			return gens
-		},
-	}
-}
-
-// MixBlend mixes memory-intensive and compute-bound cores (the paper's
-// randomly selected blend).
-func MixBlend(cores int, seed uint64) Workload {
-	return Workload{
-		Name: "mix-blend",
-		Fresh: func() []Generator {
-			gens := make([]Generator, cores)
-			for i := 0; i < cores; i++ {
-				base := coreRegion(i)
-				switch i % 4 {
-				case 0:
-					gens[i] = NewStream(fmt.Sprintf("lbm-%d", i), base, 128<<20, 12, 4)
-				case 1:
-					gens[i] = NewComputeBound(fmt.Sprintf("leela-%d", i), base, seed+uint64(i))
-				case 2:
-					gens[i] = NewPointerChase(fmt.Sprintf("xz-%d", i), base, 64<<20, 40, seed+uint64(i))
-				default:
-					gens[i] = NewComputeBound(fmt.Sprintf("povray-%d", i), base, seed+uint64(i))
-				}
-			}
-			return gens
-		},
-	}
-}
-
-// FFT is the SPLASH-2 FFT-like multithreaded kernel: all threads stride a
-// shared footprint with butterfly-style strides.
-func FFT(threads int, seed uint64) Workload {
-	return Workload{
-		Name: "fft",
-		Fresh: func() []Generator {
-			gens := make([]Generator, threads)
-			const foot = 512 << 20
-			for i := 0; i < threads; i++ {
-				// Per-thread partition plus power-of-two stride.
-				base := uint64(i) * (foot / uint64(threads))
-				gens[i] = NewStrided(fmt.Sprintf("fft-%d", i), base, foot/uint64(threads), 1<<uint(3+i%3), 16)
-			}
-			return gens
-		},
-	}
-}
-
-// Radix is the SPLASH-2 RADIX-like kernel: streaming reads with scattered
-// bucket writes.
-func Radix(threads int, seed uint64) Workload {
-	return Workload{
-		Name: "radix",
-		Fresh: func() []Generator {
-			gens := make([]Generator, threads)
-			const foot = 512 << 20
-			for i := 0; i < threads; i++ {
-				base := uint64(i) * (foot / uint64(threads))
-				gens[i] = NewGatherScatter(fmt.Sprintf("radix-%d", i), base, foot/uint64(threads), 13, seed+uint64(i))
-			}
-			return gens
-		},
-	}
-}
-
-// PageRank is the GAP PageRank-like kernel: sequential edge sweeps with
-// random vertex gathers over a shared graph.
-func PageRank(threads int, seed uint64) Workload {
-	return Workload{
-		Name: "pagerank",
-		Fresh: func() []Generator {
-			gens := make([]Generator, threads)
-			for i := 0; i < threads; i++ {
-				// Shared graph: all threads over the same region.
-				gens[i] = NewGatherScatter(fmt.Sprintf("pr-%d", i), 0, 768<<20, 14, seed+uint64(i)*7919)
-			}
-			return gens
-		},
-	}
-}
-
 // NormalWorkloads returns the paper's five normal workloads (two multi-
 // programmed, three multi-threaded) with their classes for geo-mean
-// aggregation.
+// aggregation. Each workload also registers itself (from its own file)
+// in the open workload registry, so the same five are buildable by name
+// through BuildWorkload.
 func NormalWorkloads(cores int, seed uint64) []struct {
 	Workload Workload
 	Class    Class

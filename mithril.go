@@ -39,6 +39,7 @@ import (
 	"context"
 
 	"mithril/internal/analysis"
+	"mithril/internal/attack"
 	"mithril/internal/expspec"
 	"mithril/internal/mc"
 	"mithril/internal/mitigation"
@@ -159,9 +160,12 @@ func BoundMPrime(p TimingParams, nEntry, rfmTH, adTH int) float64 {
 }
 
 // ExperimentSpec is a declarative experiment description: a named grid
-// over scheme × FlipTH × workload × seed (× adversarial flag) at a scale,
-// the JSON format the shipped specs/*.json figures use. See the README's
-// "Declarative experiment specs" section for the format.
+// over scheme × FlipTH × workload × attack × seed (× adversarial flag)
+// at a scale, the JSON format the shipped specs/*.json figures use.
+// Scheme, workload, and attack names resolve through the open registries
+// (see SchemeNames, WorkloadNames, AttackNames); workloads also accept
+// the "trace:<path>" replay form. See the README's "Declarative
+// experiment specs" and "Scenario catalog" sections for the format.
 type ExperimentSpec = expspec.Spec
 
 // ExperimentResult holds an executed spec's rows; Emit renders it as a
@@ -196,3 +200,85 @@ func MixBlend(cores int, seed uint64) Workload   { return trace.MixBlend(cores, 
 func FFT(threads int, seed uint64) Workload      { return trace.FFT(threads, seed) }
 func Radix(threads int, seed uint64) Workload    { return trace.Radix(threads, seed) }
 func PageRank(threads int, seed uint64) Workload { return trace.PageRank(threads, seed) }
+
+// ------------------------------------------------- workload/attack registries
+
+// WorkloadInfo describes one registered workload (name + one-line
+// description) for catalogs.
+type WorkloadInfo = trace.WorkloadInfo
+
+// AttackInfo describes one registered attack pattern for catalogs; the
+// Name carries the display spelling ("multi:<n>" for parameterized
+// patterns).
+type AttackInfo = attack.PatternInfo
+
+// WorkloadNames lists the registered workload names. The sorted order is
+// a documented, tested guarantee, like SchemeNames. The "trace:<path>"
+// replay form is a name shape, not a registration, and is not listed.
+func WorkloadNames() []string { return trace.WorkloadNames() }
+
+// WorkloadCatalog lists the registered workloads with descriptions,
+// sorted by name (the CLI `workloads` command and the serve /workloads
+// endpoint render it directly).
+func WorkloadCatalog() []WorkloadInfo { return trace.Workloads() }
+
+// NewWorkload builds a workload by registered name (the shipped registry
+// holds the paper's five: "fft", "mix-blend", "mix-high", "pagerank",
+// "radix") or by the "trace:<path>" form, which parses a recorded
+// access-trace file (format in the README) and replays it on every core.
+// An unknown name yields an error wrapping ErrUnknownWorkload that lists
+// the valid names.
+func NewWorkload(name string, cores int, seed uint64) (Workload, error) {
+	return trace.BuildWorkload(name, cores, seed)
+}
+
+// RegisterWorkload adds an out-of-tree workload to the open registry: it
+// becomes buildable by NewWorkload, valid in spec files, and listed by
+// the CLI and serve catalogs. It panics on an empty name, a nil factory,
+// or a duplicate registration (programmer errors at init time).
+func RegisterWorkload(name, desc string, f func(cores int, seed uint64) Workload) {
+	trace.RegisterWorkload(name, desc, f)
+}
+
+// ErrUnknownWorkload is wrapped by NewWorkload's error (and spec
+// validation) for an unregistered workload name; match with errors.Is.
+var ErrUnknownWorkload = trace.ErrUnknownWorkload
+
+// AddressMapper translates between physical byte addresses and DRAM
+// coordinates; attack patterns use it to aim at specific rows.
+type AddressMapper = mc.AddressMapper
+
+// NewAddressMapper builds the mapper for a parameter set.
+func NewAddressMapper(p TimingParams) *AddressMapper { return mc.NewAddressMapper(p) }
+
+// AttackParams configures an attack-pattern build for NewAttack: the
+// required Mapper plus optional bank/row coordinates (each pattern has
+// paper defaults), an explicit Rows list for "rowlist", and the deployed
+// scheme's collision oracle for oracle-driven patterns.
+type AttackParams = attack.Params
+
+// CollisionOracle is the collision interface oracle-driven attack
+// patterns probe (BlockHammer exposes one); extract it from a Scheme
+// with a checked type assertion.
+type CollisionOracle = attack.Throttler
+
+// NewAttack builds a registered attack pattern by (possibly
+// parameterized) name — "multi:8", "decoy", "rowlist", ... — as a
+// Generator to place in a Workload. Generators are stateful: build one
+// per simulation. An unknown name yields an error wrapping
+// ErrUnknownAttack that lists the valid patterns.
+func NewAttack(name string, p AttackParams) (Generator, error) { return attack.Build(name, p) }
+
+// AttackNames lists the registered attack patterns' display spellings
+// (the shipped registry holds "blockhammer-adversarial", "decoy:<n>",
+// "double", "multi:<n>", "rowlist", "single"). The sorted order is a
+// documented, tested guarantee.
+func AttackNames() []string { return attack.Names() }
+
+// AttackCatalog lists the registered attack patterns with descriptions,
+// sorted by name.
+func AttackCatalog() []AttackInfo { return attack.Patterns() }
+
+// ErrUnknownAttack is wrapped by spec validation's error for an
+// unregistered attack pattern; match with errors.Is.
+var ErrUnknownAttack = attack.ErrUnknownAttack
