@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -74,31 +75,97 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 	return out, sc.Err()
 }
 
-// gate compares current ns/op against the baseline within tolerance
-// (fractional, e.g. 0.30 allows +30%) and returns the failing benchmarks.
-func gate(w io.Writer, baseline, current map[string]float64, tolerance float64) (failed []string, matched int) {
-	for name, base := range baseline {
+// benchResult is one matched benchmark's comparison in the verdict.
+type benchResult struct {
+	Name         string  `json:"name"`
+	BaselineNsOp float64 `json:"baseline_ns_op"`
+	CurrentNsOp  float64 `json:"current_ns_op"`
+	DeltaPercent float64 `json:"delta_percent"`
+	Regression   bool    `json:"regression"`
+}
+
+// verdict is the gate's full machine-readable outcome (-json emits it).
+type verdict struct {
+	Series        string        `json:"series"`
+	BaselineLabel string        `json:"baseline_label"`
+	BaselineDate  string        `json:"baseline_date"`
+	Tolerance     float64       `json:"tolerance"`
+	Matched       int           `json:"matched"`
+	HistoryOnly   []string      `json:"history_only,omitempty"`
+	RunOnly       []string      `json:"run_only,omitempty"`
+	Failed        []string      `json:"failed,omitempty"`
+	OK            bool          `json:"ok"`
+	Benchmarks    []benchResult `json:"benchmarks"`
+}
+
+// evaluate compares current ns/op against the baseline within tolerance
+// (fractional, e.g. 0.30 allows +30%). Every list is sorted by name so the
+// gate's output is deterministic regardless of map iteration order.
+func evaluate(baseline, current map[string]float64, tolerance float64) verdict {
+	v := verdict{Tolerance: tolerance}
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline[name]
 		cur, ok := current[name]
 		if !ok {
-			fmt.Fprintf(w, "skip %-32s (in history, not in this run)\n", name)
+			v.HistoryOnly = append(v.HistoryOnly, name)
 			continue
 		}
-		matched++
-		delta := 100 * (cur - base) / base
-		verdict := "ok"
-		if cur > base*(1+tolerance) {
-			verdict = "REGRESSION"
-			failed = append(failed, name)
+		v.Matched++
+		r := benchResult{
+			Name:         name,
+			BaselineNsOp: base,
+			CurrentNsOp:  cur,
+			DeltaPercent: 100 * (cur - base) / base,
+			Regression:   cur > base*(1+tolerance),
 		}
-		fmt.Fprintf(w, "%-36s baseline %14.0f ns/op  current %14.0f ns/op  %+7.1f%%  %s\n",
-			name, base, cur, delta, verdict)
+		if r.Regression {
+			v.Failed = append(v.Failed, name)
+		}
+		v.Benchmarks = append(v.Benchmarks, r)
 	}
+	runOnly := make([]string, 0, len(current))
 	for name := range current {
 		if _, ok := baseline[name]; !ok {
-			fmt.Fprintf(w, "skip %-32s (in this run, not in history)\n", name)
+			runOnly = append(runOnly, name)
 		}
 	}
-	return failed, matched
+	sort.Strings(runOnly)
+	v.RunOnly = runOnly
+	if len(v.RunOnly) == 0 {
+		v.RunOnly = nil
+	}
+	v.OK = v.Matched > 0 && len(v.Failed) == 0
+	return v
+}
+
+// gate renders evaluate's comparison as the human-readable report and
+// returns the failing benchmarks.
+func gate(w io.Writer, baseline, current map[string]float64, tolerance float64) (failed []string, matched int) {
+	v := evaluate(baseline, current, tolerance)
+	renderText(w, v)
+	return v.Failed, v.Matched
+}
+
+func renderText(w io.Writer, v verdict) {
+	for _, name := range v.HistoryOnly {
+		fmt.Fprintf(w, "skip %-32s (in history, not in this run)\n", name)
+	}
+	for _, r := range v.Benchmarks {
+		verdict := "ok"
+		if r.Regression {
+			verdict = "REGRESSION"
+		}
+		fmt.Fprintf(w, "%-36s baseline %14.0f ns/op  current %14.0f ns/op  %+7.1f%%  %s\n",
+			r.Name, r.BaselineNsOp, r.CurrentNsOp, r.DeltaPercent, verdict)
+	}
+	for _, name := range v.RunOnly {
+		fmt.Fprintf(w, "skip %-32s (in this run, not in history)\n", name)
+	}
 }
 
 func main() {
@@ -111,15 +178,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		inputPath   = "-"
 		historyPath = "BENCH_sweep_hotpath.json"
 		tolerance   = 0.30
+		jsonOut     = false
 	)
 	usage := func() int {
-		fmt.Fprintf(stderr, "usage: benchgate [-input bench.txt] [-history BENCH.json] [-tolerance 0.30]\n")
+		fmt.Fprintf(stderr, "usage: benchgate [-input bench.txt] [-history BENCH.json] [-tolerance 0.30] [-json]\n")
 		return 2
 	}
 	for i := 0; i < len(args); i++ {
 		opt := args[i]
+		if opt == "-json" {
+			jsonOut = true
+			continue
+		}
 		if i+1 >= len(args) {
-			return usage() // every option takes a value
+			return usage() // every other option takes a value
 		}
 		i++
 		switch opt {
@@ -181,20 +253,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	baseline := map[string]float64{}
-	for name, p := range latest.Benchmarks {
+	for name, p := range latest.Benchmarks { //mithril:allow detrange building a map: order-independent
 		baseline[name] = p.NsOp
 	}
-	fmt.Fprintf(stdout, "benchgate: against %s point %q (%s), tolerance +%.0f%%\n",
-		h.Series, latest.Label, latest.Date, tolerance*100)
-	failed, matched := gate(stdout, baseline, current, tolerance)
-	if matched == 0 {
+	v := evaluate(baseline, current, tolerance)
+	v.Series, v.BaselineLabel, v.BaselineDate = h.Series, latest.Label, latest.Date
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return 2
+		}
+	} else {
+		fmt.Fprintf(stdout, "benchgate: against %s point %q (%s), tolerance +%.0f%%\n",
+			v.Series, v.BaselineLabel, v.BaselineDate, tolerance*100)
+		renderText(stdout, v)
+	}
+	if v.Matched == 0 {
 		fmt.Fprintf(stderr, "benchgate: no benchmarks matched the history file\n")
 		return 2
 	}
-	if len(failed) > 0 {
-		fmt.Fprintf(stderr, "benchgate: regression in %v\n", failed)
+	if len(v.Failed) > 0 {
+		fmt.Fprintf(stderr, "benchgate: regression in %v\n", v.Failed)
 		return 1
 	}
-	fmt.Fprintf(stdout, "benchgate: %d benchmark(s) within tolerance\n", matched)
+	if !jsonOut {
+		fmt.Fprintf(stdout, "benchgate: %d benchmark(s) within tolerance\n", v.Matched)
+	}
 	return 0
 }

@@ -1,0 +1,62 @@
+// Command mithrilvet runs the repo's static-analysis suite (internal/lint)
+// over the given packages, go vet-style: findings print one per line as
+// file:line:col: analyzer: message, and any finding exits non-zero.
+//
+// Usage:
+//
+//	go run ./cmd/mithrilvet ./...
+//	go run ./cmd/mithrilvet -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mithril/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("mithrilvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: mithrilvet [-list] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	findings, err := lint.RunAnalyzers(pkgs, lint.All())
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "mithrilvet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

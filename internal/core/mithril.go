@@ -92,6 +92,8 @@ func (m *Mithril) Config() Config { return m.cfg }
 
 // OnActivate feeds one ACT command (step 1 of Figure 4/5): CbS update with
 // MaxPtr/MinPtr maintenance.
+//
+//mithril:hotpath
 func (m *Mithril) OnActivate(row uint32) {
 	m.stats.ACTs++
 	m.table.Observe(row)
@@ -110,6 +112,8 @@ func (m *Mithril) OnActivate(row uint32) {
 // policy skipped the refresh (victims is then nil). The victim slice is
 // owned by the module and reused on the next OnRFM — callers that retain
 // it must copy.
+//
+//mithril:hotpath
 func (m *Mithril) OnRFM() (aggressor uint32, victims []uint32, refreshed bool) {
 	m.stats.RFMs++
 	if m.cfg.AdTH > 0 && m.table.Spread() <= uint64(m.cfg.AdTH) {
@@ -131,11 +135,15 @@ func (m *Mithril) OnRFM() (aggressor uint32, victims []uint32, refreshed bool) {
 // SkipFlag is the Mithril+ mode-register flag (Section V-B): true when the
 // table spread is at or below AdTH, telling the MC (via MRR) that the next
 // RFM command may be skipped entirely.
+//
+//mithril:hotpath
 func (m *Mithril) SkipFlag() bool {
 	return m.cfg.AdTH > 0 && m.table.Spread() <= uint64(m.cfg.AdTH)
 }
 
 // Spread exposes the current MaxPtr−MinPtr difference.
+//
+//mithril:hotpath
 func (m *Mithril) Spread() uint64 { return m.table.Spread() }
 
 // Stats returns a copy of the module counters.
@@ -156,6 +164,8 @@ func VictimRows(aggressor uint32, blastRadius int) []uint32 {
 
 // AppendVictimRows is VictimRows into a caller-provided buffer (reused by
 // the module's RFM path to keep it allocation-free).
+//
+//mithril:hotpath
 func AppendVictimRows(buf []uint32, aggressor uint32, blastRadius int) []uint32 {
 	for d := 1; d <= blastRadius; d++ {
 		if aggressor >= uint32(d) {

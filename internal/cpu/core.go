@@ -99,6 +99,8 @@ func (c *Core) ID() int { return c.id }
 
 // Finished reports whether the core retired its instruction target and
 // drained all outstanding misses.
+//
+//mithril:hotpath
 func (c *Core) Finished() bool { return c.finished }
 
 // FinishTime reports when the core finished (meaningful once Finished).
@@ -136,6 +138,8 @@ func (c *Core) MemStats() (accesses, misses uint64) { return c.memAccesses, c.ll
 // Complete delivers a finished memory request back to the core. The
 // request object is recycled for a future miss: once the controller has
 // called back with the completion, nothing else references it.
+//
+//mithril:hotpath
 func (c *Core) Complete(reqID uint64, at timing.PicoSeconds) {
 	for i, m := range c.outstanding {
 		if m.reqID == reqID {
@@ -159,6 +163,8 @@ const maxTime = timing.PicoSeconds(1) << 62
 // on its own, or a far-future sentinel when it is purely completion-driven
 // (MSHRs full, ROB blocked, or serialized behind a miss). The simulator
 // uses it to fast-forward idle stretches.
+//
+//mithril:hotpath
 func (c *Core) NextReady() timing.PicoSeconds {
 	if c.finished {
 		return maxTime
@@ -184,6 +190,8 @@ func (c *Core) NextReady() timing.PicoSeconds {
 // Advance lets the core make progress up to time now: it consumes trace
 // entries, performs LLC lookups, and issues at most a bounded batch of
 // memory requests per call.
+//
+//mithril:hotpath
 func (c *Core) Advance(now timing.PicoSeconds) {
 	if c.finished {
 		return
@@ -231,7 +239,7 @@ func (c *Core) Advance(now timing.PicoSeconds) {
 			req = c.freeReqs[n-1]
 			c.freeReqs = c.freeReqs[:n-1]
 		} else {
-			req = &mc.Request{}
+			req = &mc.Request{} //mithril:allow hotpathalloc pool miss; at most MSHRs+1 requests are ever live per core
 		}
 		*req = mc.Request{ID: c.nextReqID, CoreID: c.id, Addr: op.Addr, Write: op.Write, Arrive: c.fetchTime}
 		if !c.enqueue(req) {

@@ -41,6 +41,8 @@ func NewLLC(capacityBytes, ways int) *LLC {
 
 // Access looks up addr, updating LRU state and allocating on miss
 // (write-allocate for stores). It reports whether the access hit.
+//
+//mithril:hotpath
 func (l *LLC) Access(addr uint64) bool {
 	line := addr >> l.lineBits
 	set := int(line) & (l.sets - 1)

@@ -44,19 +44,27 @@ func NewBank(p timing.Params) *Bank {
 }
 
 // OpenRow reports the currently open row, or -1 when precharged.
+//
+//mithril:hotpath
 func (b *Bank) OpenRow() int { return b.openRow }
 
 // Stats returns a copy of the bank counters.
 func (b *Bank) Stats() BankStats { return b.stats }
 
 // BusyUntil reports the end of any maintenance window in progress.
+//
+//mithril:hotpath
 func (b *Bank) BusyUntil() timing.PicoSeconds { return b.busyUntil }
 
 // Available reports whether the bank is out of maintenance at now.
+//
+//mithril:hotpath
 func (b *Bank) Available(now timing.PicoSeconds) bool { return now >= b.busyUntil }
 
 // ActivateReadyAt reports the earliest time an ACT for row could start,
 // including an implicit precharge when another row is open.
+//
+//mithril:hotpath
 func (b *Bank) ActivateReadyAt(now timing.PicoSeconds, rankACTReady timing.PicoSeconds) timing.PicoSeconds {
 	start := now
 	if b.busyUntil > start {
@@ -84,6 +92,8 @@ func (b *Bank) ActivateReadyAt(now timing.PicoSeconds, rankACTReady timing.PicoS
 // an ACT was issued (the RowHammer-relevant event) and when the data burst
 // completes. rankACTReady carries the rank-level tRRD/tFAW constraint; the
 // caller must report issued ACTs back to the rank tracker.
+//
+//mithril:hotpath
 func (b *Bank) Access(now timing.PicoSeconds, row int, write bool, rankACTReady timing.PicoSeconds) (activated bool, actAt, dataReadyAt timing.PicoSeconds) {
 	if row < 0 || row >= b.p.Rows {
 		panic(fmt.Sprintf("dram: access to row %d outside bank of %d rows", row, b.p.Rows))
@@ -132,6 +142,8 @@ func (b *Bank) Access(now timing.PicoSeconds, row int, write bool, rankACTReady 
 
 // Precharge closes the open row (page-policy decision). It is a no-op on a
 // precharged bank.
+//
+//mithril:hotpath
 func (b *Bank) Precharge(now timing.PicoSeconds) {
 	if b.openRow < 0 {
 		return
@@ -149,6 +161,8 @@ func (b *Bank) Precharge(now timing.PicoSeconds) {
 // StartMaintenance occupies the bank for a REF/RFM/ARR window of the given
 // duration starting no earlier than now (and after any in-flight activity),
 // closing the open row. It returns the window's end time.
+//
+//mithril:hotpath
 func (b *Bank) StartMaintenance(now timing.PicoSeconds, dur timing.PicoSeconds, kind MaintenanceKind) timing.PicoSeconds {
 	start := now
 	if b.busyUntil > start {
@@ -174,6 +188,8 @@ func (b *Bank) StartMaintenance(now timing.PicoSeconds, dur timing.PicoSeconds, 
 
 // NotePreventiveRows accounts victim rows refreshed inside a maintenance
 // window.
+//
+//mithril:hotpath
 func (b *Bank) NotePreventiveRows(n int) { b.stats.PreventiveRows += uint64(n) }
 
 // MaintenanceKind labels a maintenance window for statistics.
@@ -196,6 +212,8 @@ type rankTracker struct {
 }
 
 // ACTReadyAt reports the earliest time a new ACT may start on this rank.
+//
+//mithril:hotpath
 func (r *rankTracker) ACTReadyAt() timing.PicoSeconds {
 	if r.primed == 0 {
 		return 0
@@ -210,6 +228,8 @@ func (r *rankTracker) ACTReadyAt() timing.PicoSeconds {
 }
 
 // RecordACT registers an issued ACT.
+//
+//mithril:hotpath
 func (r *rankTracker) RecordACT(at timing.PicoSeconds) {
 	r.lastACT = at
 	r.last4ACT[r.idx] = at

@@ -53,21 +53,29 @@ func NewDevice(p timing.Params, flipTH int, weights []float64) *Device {
 func (d *Device) Params() timing.Params { return d.p }
 
 // NumBanks reports the number of banks across the device.
+//
+//mithril:hotpath
 func (d *Device) NumBanks() int { return len(d.banks) }
 
 // Bank returns the bank at the given global index.
+//
+//mithril:hotpath
 func (d *Device) Bank(global int) *Bank { return d.banks[global] }
 
 // Checker exposes a bank's RowHammer checker.
 func (d *Device) Checker(global int) *rh.Checker { return d.checkers[global] }
 
 // rankOf maps a global bank index to its rank tracker index.
+//
+//mithril:hotpath
 func (d *Device) rankOf(global int) int { return global / d.p.Banks }
 
 // Access serves one column access on a bank, enforcing bank and rank timing
 // and feeding the fault model when an ACT is issued. It reports whether an
 // ACT was issued (a row activation — the RowHammer- and RAA-relevant event)
 // and the data completion time.
+//
+//mithril:hotpath
 func (d *Device) Access(global, row int, write bool, now timing.PicoSeconds) (activated bool, dataReadyAt timing.PicoSeconds) {
 	if global < 0 || global >= len(d.banks) {
 		panic(fmt.Sprintf("dram: bank %d out of range (%d banks)", global, len(d.banks)))
@@ -84,6 +92,8 @@ func (d *Device) Access(global, row int, write bool, now timing.PicoSeconds) (ac
 // ActivateOnly issues a bare ACT+PRE on a bank (used by attack replay and
 // by ARR victim refreshes modelled as row activations). It returns the
 // completion time of the row cycle.
+//
+//mithril:hotpath
 func (d *Device) ActivateOnly(global, row int, now timing.PicoSeconds) timing.PicoSeconds {
 	rank := d.ranks[d.rankOf(global)]
 	b := d.banks[global]
@@ -97,6 +107,8 @@ func (d *Device) ActivateOnly(global, row int, now timing.PicoSeconds) timing.Pi
 }
 
 // RowsPerRefreshGroup is the number of rows swept by one REF command.
+//
+//mithril:hotpath
 func (d *Device) RowsPerRefreshGroup() int {
 	n := d.p.Rows / d.p.RefreshGroups
 	if n < 1 {
@@ -108,6 +120,8 @@ func (d *Device) RowsPerRefreshGroup() int {
 // IssueREF executes one auto-refresh on every bank of the rank: the banks
 // are occupied for tRFC and the next refresh group's rows are restored
 // (resetting their RowHammer disturbance).
+//
+//mithril:hotpath
 func (d *Device) IssueREF(rankIdx int, now timing.PicoSeconds) timing.PicoSeconds {
 	if rankIdx < 0 || rankIdx >= len(d.ranks) {
 		panic(fmt.Sprintf("dram: rank %d out of range", rankIdx))
@@ -132,6 +146,8 @@ func (d *Device) IssueREF(rankIdx int, now timing.PicoSeconds) timing.PicoSecond
 // IssueRFM opens an RFM maintenance window of tRFM on one bank and returns
 // its end time. Victim refreshes performed inside the window are applied
 // with PreventiveRefresh.
+//
+//mithril:hotpath
 func (d *Device) IssueRFM(global int, now timing.PicoSeconds) timing.PicoSeconds {
 	return d.banks[global].StartMaintenance(now, d.p.TRFM, MaintRFM)
 }
@@ -139,6 +155,8 @@ func (d *Device) IssueRFM(global int, now timing.PicoSeconds) timing.PicoSeconds
 // IssueARR opens an ARR-style maintenance window long enough to refresh n
 // victim rows (tRC per row) on one bank — the remedy of the non-RFM
 // schemes (Graphene, TWiCe, CBT, PARA).
+//
+//mithril:hotpath
 func (d *Device) IssueARR(global, nRows int, now timing.PicoSeconds) timing.PicoSeconds {
 	if nRows < 1 {
 		nRows = 1
@@ -150,6 +168,8 @@ func (d *Device) IssueARR(global, nRows int, now timing.PicoSeconds) timing.Pico
 // maintenance window that the caller already opened), resetting their
 // disturbance. Out-of-range rows (blast radius past the bank edge) are
 // ignored, matching Checker semantics.
+//
+//mithril:hotpath
 func (d *Device) PreventiveRefresh(global int, rows []uint32) {
 	ck := d.checkers[global]
 	n := 0

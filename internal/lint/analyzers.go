@@ -1,0 +1,7 @@
+package lint
+
+// All returns the full analyzer suite in its canonical order — what
+// cmd/mithrilvet runs and the self-check test asserts clean.
+func All() []*Analyzer {
+	return []*Analyzer{HotpathAlloc, DetRange, PureSim, RegisterInit}
+}

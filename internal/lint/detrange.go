@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetRange is the static form of the "golden figures are byte-identical"
+// contract: in output-bearing packages (result emission, spec expansion,
+// registries, the CLIs), ranging over a map is only deterministic when the
+// iteration feeds a slice that is sorted before anything observable
+// happens — so a range over a map-typed value is flagged unless a sort
+// call (sort.* or slices.Sort*) follows it in the same function body, or
+// the line carries a "//mithril:allow detrange <reason>" suppression
+// (order-independent aggregation such as summing values).
+var DetRange = &Analyzer{
+	Name: "detrange",
+	Doc:  "disallow unordered map iteration in output-bearing packages",
+	Run:  runDetRange,
+}
+
+// detRangePkgs are the output-bearing module packages in scope. Packages
+// outside the module (the test fixtures) are always in scope.
+var detRangePkgs = map[string]bool{
+	"mithril":                     true,
+	"mithril/internal/expspec":    true,
+	"mithril/internal/stats":      true,
+	"mithril/internal/trace":      true,
+	"mithril/internal/mitigation": true,
+	"mithril/internal/attack":     true,
+	"mithril/cmd/mithrilsim":      true,
+	"mithril/cmd/benchgate":       true,
+	"mithril/cmd/mithrilvet":      true,
+}
+
+func inDetRangeScope(pkgPath string) bool {
+	if !strings.HasPrefix(pkgPath, "mithril") {
+		return true
+	}
+	return detRangePkgs[pkgPath]
+}
+
+func runDetRange(pass *Pass) error {
+	if !inDetRangeScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDetRange(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkDetRange(pass *Pass, body *ast.BlockStmt) {
+	var ranges []*ast.RangeStmt
+	var sortPositions []int
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.RangeStmt:
+			tv, ok := pass.TypesInfo.Types[node.X]
+			if ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					ranges = append(ranges, node)
+				}
+			}
+		case *ast.CallExpr:
+			if isSortCall(pass, node) {
+				sortPositions = append(sortPositions, int(node.Pos()))
+			}
+		}
+		return true
+	})
+	for _, r := range ranges {
+		sortedAfter := false
+		for _, p := range sortPositions {
+			if p > int(r.End()) {
+				sortedAfter = true
+				break
+			}
+		}
+		if !sortedAfter {
+			pass.Reportf(r.Pos(), "unordered range over map (sort the keys before emitting, or collect and sort after)")
+		}
+	}
+}
+
+// isSortCall recognises sort.* and slices.Sort* calls — the markers that a
+// collection loop's output is ordered before use.
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		return true
+	case "slices":
+		return strings.HasPrefix(fn.Name(), "Sort")
+	}
+	return false
+}

@@ -1,0 +1,465 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotpathAlloc checks that functions annotated //mithril:hotpath — the
+// simulator's steady-state paths, whose allocation-free property PR 2
+// established by benchmark — contain no allocation-introducing constructs:
+//
+//   - map, slice, or channel make calls and map/slice composite literals
+//   - new(T) and &T{...} (escaping heap values)
+//   - closures, except function literals passed directly as a call
+//     argument or invoked immediately (which do not escape through a
+//     callee that does not retain them)
+//   - go statements
+//   - string concatenation and allocating string conversions
+//   - boxing a non-pointer concrete value into an interface
+//   - append to a zero-value local slice (un-preallocated growth); append
+//     to fields, pooled buffers, and preallocated slices is fine
+//   - calls to functions that are neither annotated //mithril:hotpath nor
+//     whitelisted (math, math/bits, builtins); dynamic calls through
+//     interfaces and function values are exempt, as are the arguments of
+//     panic (cold failure paths)
+//
+// Deliberate exceptions — lazy one-time initialisation inside a steady
+// method, pool refills — are suppressed per line with
+// "//mithril:allow hotpathalloc <reason>".
+var HotpathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "disallow allocation-introducing constructs in //mithril:hotpath functions",
+	Run:  runHotpathAlloc,
+}
+
+// hotpathAllowedPkgs may be called from hot paths without annotation:
+// pure-computation stdlib packages that never allocate.
+var hotpathAllowedPkgs = map[string]bool{
+	"math":      true,
+	"math/bits": true,
+}
+
+func runHotpathAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !HotpathDecl(fd) {
+				continue
+			}
+			w := &hotpathWalker{pass: pass, results: fd.Type.Results}
+			w.locals = collectLocalAppendTargets(pass, fd.Body)
+			w.walk(fd.Body)
+		}
+	}
+	return nil
+}
+
+// hotpathWalker traverses one hot function body with enough parent context
+// to exempt panic arguments and direct-call-argument closures.
+type hotpathWalker struct {
+	pass    *Pass
+	results *ast.FieldList
+	locals  map[*types.Var]*appendTarget
+}
+
+// appendTarget tracks a local slice variable: declared as a zero value and
+// whether anything other than an append result was ever assigned to it.
+type appendTarget struct {
+	zeroDecl   bool
+	nonAppend  bool
+	reportedAt token.Pos
+}
+
+func (w *hotpathWalker) walk(n ast.Node) {
+	if n == nil {
+		return
+	}
+	switch node := n.(type) {
+	case *ast.GoStmt:
+		w.pass.Reportf(node.Pos(), "go statement in hot path (spawns a goroutine)")
+		return
+	case *ast.FuncLit:
+		w.pass.Reportf(node.Pos(), "closure in hot path escapes (allowed only as a direct call argument)")
+		// Still check the body: it runs on the hot path either way.
+		w.walkFuncLitBody(node)
+		return
+	case *ast.CompositeLit:
+		w.checkCompositeLit(node)
+	case *ast.UnaryExpr:
+		if node.Op == token.AND {
+			if _, isLit := ast.Unparen(node.X).(*ast.CompositeLit); isLit {
+				w.pass.Reportf(node.Pos(), "address of composite literal allocates")
+			}
+		}
+	case *ast.BinaryExpr:
+		w.checkStringConcat(node)
+	case *ast.CallExpr:
+		if w.checkCall(node) {
+			return // subtree handled (panic args exempt, closures allowed)
+		}
+	case *ast.AssignStmt:
+		w.checkAssignBoxing(node)
+	case *ast.ReturnStmt:
+		w.checkReturnBoxing(node)
+	}
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == nil || child == n {
+			return child == n
+		}
+		w.walk(child)
+		return false
+	})
+}
+
+// checkCall analyzes one call and reports whether it took over the walk of
+// its subtree.
+func (w *hotpathWalker) checkCall(call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+
+	// Immediately-invoked closure: allowed, check body and args only.
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		w.walkFuncLitBody(lit)
+		w.walkArgs(call, nil)
+		return true
+	}
+
+	// Conversion T(x): allocating string/byte conversions are flagged;
+	// boxing conversions (any(x)) are interface boxing.
+	if tv, ok := w.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		w.checkConversion(call, tv.Type)
+		return false
+	}
+
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, isBuiltin := w.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "make":
+				w.pass.Reportf(call.Pos(), "make allocates in hot path")
+			case "new":
+				w.pass.Reportf(call.Pos(), "new allocates in hot path")
+			case "append":
+				w.checkAppend(call)
+			case "panic":
+				// Cold failure path: the arguments (typically
+				// fmt.Sprintf) never run in steady state.
+				return true
+			}
+			return false
+		}
+	}
+
+	callee := staticCallee(w.pass.TypesInfo, call)
+	if callee != nil {
+		id := TypesFuncID(callee)
+		switch {
+		case id == "":
+			// Interface method: dynamic dispatch, checked at its
+			// concrete implementations.
+		case w.pass.Index.Hotpath[id]:
+		case callee.Pkg() != nil && hotpathAllowedPkgs[callee.Pkg().Path()]:
+		default:
+			w.pass.Reportf(call.Pos(), "call to non-hotpath function %s (annotate it //mithril:hotpath or whitelist the line)", id)
+		}
+	}
+	w.walkArgs(call, nil)
+	w.checkCallArgBoxing(call)
+	w.walk(call.Fun)
+	return true
+}
+
+// walkArgs walks call arguments, treating function literals passed
+// directly as arguments as non-escaping (their bodies are still checked).
+func (w *hotpathWalker) walkArgs(call *ast.CallExpr, _ []ast.Expr) {
+	for _, arg := range call.Args {
+		if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+			w.walkFuncLitBody(lit)
+			continue
+		}
+		w.walk(arg)
+	}
+}
+
+// walkFuncLitBody checks a closure body with return-boxing resolved
+// against the closure's own result list.
+func (w *hotpathWalker) walkFuncLitBody(lit *ast.FuncLit) {
+	saved := w.results
+	w.results = lit.Type.Results
+	w.walk(lit.Body)
+	w.results = saved
+}
+
+func (w *hotpathWalker) checkCompositeLit(lit *ast.CompositeLit) {
+	tv, ok := w.pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		w.pass.Reportf(lit.Pos(), "map literal allocates in hot path")
+	case *types.Slice:
+		w.pass.Reportf(lit.Pos(), "slice literal allocates in hot path")
+	}
+}
+
+func (w *hotpathWalker) checkStringConcat(bin *ast.BinaryExpr) {
+	if bin.Op != token.ADD {
+		return
+	}
+	tv, ok := w.pass.TypesInfo.Types[bin]
+	if !ok || tv.Value != nil {
+		return // not typed, or constant-folded at compile time
+	}
+	if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+		w.pass.Reportf(bin.Pos(), "string concatenation allocates in hot path")
+	}
+}
+
+func (w *hotpathWalker) checkConversion(call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	argTV, ok := w.pass.TypesInfo.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	under := target.Underlying()
+	if basic, isBasic := under.(*types.Basic); isBasic && basic.Info()&types.IsString != 0 {
+		if ab, isArgBasic := argTV.Type.Underlying().(*types.Basic); !isArgBasic || ab.Info()&types.IsString == 0 {
+			w.pass.Reportf(call.Pos(), "conversion to string allocates in hot path")
+		}
+		return
+	}
+	if _, isSlice := under.(*types.Slice); isSlice {
+		if ab, isArgBasic := argTV.Type.Underlying().(*types.Basic); isArgBasic && ab.Info()&types.IsString != 0 {
+			w.pass.Reportf(call.Pos(), "string-to-slice conversion allocates in hot path")
+		}
+		return
+	}
+	if types.IsInterface(under) {
+		w.reportBoxing(call.Pos(), argTV.Type, target)
+	}
+}
+
+// checkAppend flags append whose destination is a local slice that started
+// as its zero value and was never filled from a pool or preallocation —
+// the "un-preallocated growth" pattern that allocates on first use.
+func (w *hotpathWalker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	v, ok := w.pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		return
+	}
+	t, tracked := w.locals[v]
+	if !tracked || !t.zeroDecl || t.nonAppend || t.reportedAt == call.Pos() {
+		return
+	}
+	t.reportedAt = call.Pos()
+	w.pass.Reportf(call.Pos(), "append to zero-value local slice %s allocates (preallocate or reuse a pooled buffer)", id.Name)
+}
+
+func (w *hotpathWalker) checkCallArgBoxing(call *ast.CallExpr) {
+	sig := callSignature(w.pass.TypesInfo, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var paramType types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if len(call.Args) == params.Len() && call.Ellipsis != token.NoPos {
+				paramType = params.At(params.Len() - 1).Type() // s... passes the slice through
+			} else {
+				slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+				if !ok {
+					continue
+				}
+				paramType = slice.Elem()
+			}
+		case i < params.Len():
+			paramType = params.At(i).Type()
+		default:
+			continue
+		}
+		if argTV, ok := w.pass.TypesInfo.Types[arg]; ok {
+			w.reportBoxing(arg.Pos(), argTV.Type, paramType)
+		}
+	}
+}
+
+func (w *hotpathWalker) checkAssignBoxing(assign *ast.AssignStmt) {
+	if assign.Tok != token.ASSIGN || len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	for i, lhs := range assign.Lhs {
+		lhsTV, okL := w.pass.TypesInfo.Types[lhs]
+		rhsTV, okR := w.pass.TypesInfo.Types[assign.Rhs[i]]
+		if okL && okR {
+			w.reportBoxing(assign.Rhs[i].Pos(), rhsTV.Type, lhsTV.Type)
+		}
+	}
+}
+
+func (w *hotpathWalker) checkReturnBoxing(ret *ast.ReturnStmt) {
+	if w.results == nil || len(ret.Results) != w.results.NumFields() {
+		return
+	}
+	i := 0
+	for _, field := range w.results.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		fieldTV, ok := w.pass.TypesInfo.Types[field.Type]
+		for j := 0; j < n && i < len(ret.Results); j, i = j+1, i+1 {
+			if !ok {
+				continue
+			}
+			if resTV, okR := w.pass.TypesInfo.Types[ret.Results[i]]; okR {
+				w.reportBoxing(ret.Results[i].Pos(), resTV.Type, fieldTV.Type)
+			}
+		}
+	}
+}
+
+// reportBoxing flags storing a non-pointer concrete value into an
+// interface: the conversion heap-allocates the value. Pointers, interface
+// values, and untyped nil box for free (or are already boxed).
+func (w *hotpathWalker) reportBoxing(pos token.Pos, from, to types.Type) {
+	if from == nil || to == nil || !types.IsInterface(to.Underlying()) {
+		return
+	}
+	switch from.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Signature, *types.Map, *types.Chan:
+		return
+	case *types.Basic:
+		if from.Underlying().(*types.Basic).Kind() == types.UntypedNil {
+			return
+		}
+	}
+	w.pass.Reportf(pos, "interface boxing of %s allocates in hot path", types.TypeString(from, nil))
+}
+
+// collectLocalAppendTargets scans a function body for local slice
+// variables: which were declared as zero values, and which were ever
+// assigned from something other than an append result (a pool refill, a
+// field, a slice expression — i.e. reuse rather than growth).
+func collectLocalAppendTargets(pass *Pass, body *ast.BlockStmt) map[*types.Var]*appendTarget {
+	locals := map[*types.Var]*appendTarget{}
+	track := func(id *ast.Ident, zeroDecl bool) {
+		v, ok := pass.TypesInfo.Defs[id].(*types.Var)
+		if !ok {
+			return
+		}
+		if _, isSlice := v.Type().Underlying().(*types.Slice); !isSlice {
+			return
+		}
+		locals[v] = &appendTarget{zeroDecl: zeroDecl}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.GenDecl:
+			if node.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range node.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					track(name, len(vs.Values) <= i)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range node.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if node.Tok == token.DEFINE {
+					track(id, false)
+					continue
+				}
+				v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+				if !ok {
+					continue
+				}
+				t, tracked := locals[v]
+				if !tracked {
+					continue
+				}
+				if len(node.Lhs) != len(node.Rhs) || !isAppendCall(pass, node.Rhs[i]) {
+					t.nonAppend = true
+				}
+			}
+		case *ast.RangeStmt:
+			for _, expr := range []ast.Expr{node.Key, node.Value} {
+				if id, ok := expr.(*ast.Ident); ok && node.Tok == token.ASSIGN {
+					if v, isVar := pass.TypesInfo.Uses[id].(*types.Var); isVar {
+						if t, tracked := locals[v]; tracked {
+							t.nonAppend = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return locals
+}
+
+func isAppendCall(pass *Pass, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// staticCallee resolves a call's target to a declared function or method,
+// or nil for dynamic calls (function values, closures bound to variables).
+// Interface methods resolve to a *types.Func whose TypesFuncID is "".
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil // field of function type: dynamic
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn // package-qualified pkg.F
+		}
+	}
+	return nil
+}
+
+// callSignature resolves the signature a call is checked against, for
+// boxing analysis of its arguments (conversions return nil).
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// PureSim keeps the simulator core referentially transparent: identical
+// specs must produce identical results on every machine, so the packages
+// that compute them must not read wall-clock time, global randomness, or
+// ambient process state. Seeded generators (rand.New over an explicit
+// source, the repo's own streaming.Rand) are fine — only the global,
+// process-seeded entry points diverge across runs.
+var PureSim = &Analyzer{
+	Name: "puresim",
+	Doc:  "forbid wall-clock, global randomness, and env/filesystem reads in the simulator core",
+	Run:  runPureSim,
+}
+
+// pureSimPkgs is the simulator core: everything a Result is computed from.
+// Packages outside the module (the test fixtures) are always in scope.
+var pureSimPkgs = map[string]bool{
+	"mithril/internal/sim":        true,
+	"mithril/internal/mc":         true,
+	"mithril/internal/mitigation": true,
+	"mithril/internal/rh":         true,
+	"mithril/internal/dram":       true,
+	"mithril/internal/core":       true,
+	"mithril/internal/cpu":        true,
+	"mithril/internal/streaming":  true,
+	"mithril/internal/timing":     true,
+	"mithril/internal/energy":     true,
+	"mithril/internal/attack":     true,
+}
+
+func inPureSimScope(pkgPath string) bool {
+	if !strings.HasPrefix(pkgPath, "mithril") {
+		return true
+	}
+	return pureSimPkgs[pkgPath]
+}
+
+// pureSimDenied maps package path -> function names whose call makes a
+// simulation depend on ambient state. An empty set denies every
+// package-level function in the package.
+var pureSimDenied = map[string]map[string]bool{
+	"time": {"Now": true, "Since": true, "Until": true},
+	"math/rand": {
+		"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+		"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+		"Float32": true, "Float64": true, "ExpFloat64": true,
+		"NormFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+		"Read": true,
+	},
+	"math/rand/v2": {
+		"Int": true, "IntN": true, "Int32": true, "Int32N": true,
+		"Int64": true, "Int64N": true, "Uint": true, "UintN": true,
+		"Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true,
+		"Float32": true, "Float64": true, "ExpFloat64": true,
+		"NormFloat64": true, "Perm": true, "Shuffle": true, "N": true,
+	},
+	"os": {
+		"Getenv": true, "LookupEnv": true, "Environ": true,
+		"Open": true, "OpenFile": true, "ReadFile": true, "ReadDir": true,
+		"Stat": true, "Lstat": true, "Create": true, "Getwd": true,
+		"UserHomeDir": true, "Hostname": true,
+	},
+	"io/ioutil": {},
+}
+
+func runPureSim(pass *Pass) error {
+	if !inPureSimScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := staticCallee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Signature().Recv() != nil {
+				return true // methods (e.g. on a seeded *rand.Rand) are deterministic state
+			}
+			denied, known := pureSimDenied[fn.Pkg().Path()]
+			if !known {
+				return true
+			}
+			if len(denied) == 0 || denied[fn.Name()] {
+				pass.Reportf(call.Pos(), "%s.%s makes the simulator depend on ambient state (thread a seed or inject the value instead)", fn.Pkg().Path(), fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// RegisterInit enforces the two registry/ownership contracts that keep the
+// open scheme/workload/attack registries sound:
+//
+//  1. Every call to a package-level Register* function must happen inside
+//     an init function (or a Register*-named forwarding wrapper) with a
+//     compile-time-constant name, so the registry's contents are a static
+//     property of the import graph — never dependent on call order or
+//     runtime strings.
+//
+//  2. The result of a Scheme's OnActivate/OnRFM must not be stored into a
+//     struct field or package variable: the returned victim slice is owned
+//     by the scheme and only valid until its next call (the mc.Scheme
+//     ownership contract). Retaining callers must copy, e.g. via
+//     append(dst[:0], victims...) or the controller's victim pool.
+var RegisterInit = &Analyzer{
+	Name: "registerinit",
+	Doc:  "Register* calls only from init with literal names; never retain scheme-owned victim slices",
+	Run:  runRegisterInit,
+}
+
+func runRegisterInit(pass *Pass) error {
+	for _, file := range pass.Files {
+		filename := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkRegisterCalls(pass, d)
+				if d.Body != nil {
+					checkVictimRetention(pass, d.Body)
+				}
+			case *ast.GenDecl:
+				// Package-level var initialisers can also retain.
+				for _, spec := range d.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, v := range vs.Values {
+							if isSchemeVictimCall(pass, v) {
+								pass.Reportf(v.Pos(), "package variable retains a scheme-owned victim slice (copy it; see mc.Scheme)")
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkRegisterCalls validates every Register* call inside one function.
+func checkRegisterCalls(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	inInit := fd.Recv == nil && fd.Name.Name == "init"
+	isForwarder := strings.HasPrefix(fd.Name.Name, "Register")
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := staticCallee(pass.TypesInfo, call)
+		if fn == nil || !strings.HasPrefix(fn.Name(), "Register") {
+			return true
+		}
+		if sig, okSig := fn.Type().(*types.Signature); !okSig || sig.Recv() != nil {
+			return true // methods named Register* are not registry entry points
+		}
+		if !inInit && !isForwarder {
+			pass.Reportf(call.Pos(), "%s called outside an init function (registries must be static properties of the import graph)", fn.Name())
+		}
+		// A Register*-named forwarder passes its caller's name through;
+		// the literal-name rule applies at the forwarder's call sites.
+		if len(call.Args) > 0 && !isForwarder {
+			tv, okTV := pass.TypesInfo.Types[call.Args[0]]
+			if okTV {
+				if basic, okB := tv.Type.Underlying().(*types.Basic); okB && basic.Info()&types.IsString != 0 {
+					if tv.Value == nil || tv.Value.Kind() != constant.String {
+						pass.Reportf(call.Args[0].Pos(), "%s name must be a compile-time string constant", fn.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkVictimRetention flags direct stores of OnActivate/OnRFM results
+// into fields, package variables, or composite literals. Local bindings
+// and element-copying uses (append(dst, victims...)) are fine.
+func checkVictimRetention(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range node.Rhs {
+				if i >= len(node.Lhs) || !isSchemeVictimCall(pass, rhs) {
+					continue
+				}
+				if retainingLHS(pass, node.Lhs[i]) {
+					pass.Reportf(rhs.Pos(), "retains a scheme-owned victim slice beyond the next OnActivate/OnRFM call (copy it; see mc.Scheme)")
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range node.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if isSchemeVictimCall(pass, v) {
+					pass.Reportf(v.Pos(), "composite literal retains a scheme-owned victim slice (copy it; see mc.Scheme)")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// retainingLHS reports whether an assignment target outlives the statement
+// scope: a struct field selector, an index into non-local storage, or a
+// package-level variable.
+func retainingLHS(pass *Pass, lhs ast.Expr) bool {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return true
+		}
+		// Package-qualified var.
+		if v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var); ok && v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+	case *ast.IndexExpr:
+		return true
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+	}
+	return false
+}
+
+// isSchemeVictimCall reports whether expr is a direct x.OnActivate(...) or
+// x.OnRFM(...) call returning a slice.
+func isSchemeVictimCall(pass *Pass, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != "OnActivate" && sel.Sel.Name != "OnRFM" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	_, isSlice := tv.Type.Underlying().(*types.Slice)
+	return isSlice
+}

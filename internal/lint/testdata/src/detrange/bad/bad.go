@@ -1,0 +1,18 @@
+// Package bad iterates maps in output position without ordering the keys.
+package bad
+
+import "fmt"
+
+func Emit(counts map[string]int) {
+	for name, n := range counts { // want "unordered range over map"
+		fmt.Println(name, n)
+	}
+}
+
+func Keys(counts map[string]int) []string {
+	var names []string
+	for name := range counts { // want "unordered range over map"
+		names = append(names, name)
+	}
+	return names
+}

@@ -1,0 +1,33 @@
+// Package good shows the two sanctioned shapes: collect-then-sort before
+// emitting, and explicitly suppressed order-independent aggregation.
+package good
+
+import (
+	"fmt"
+	"sort"
+)
+
+func Emit(counts map[string]int) {
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Println(name, counts[name])
+	}
+}
+
+func Sum(counts map[string]int) int {
+	total := 0
+	for _, n := range counts { //mithril:allow detrange order-independent sum
+		total += n
+	}
+	return total
+}
+
+func Slice(names []string) {
+	for _, name := range names { // slices iterate in order; never flagged
+		fmt.Println(name)
+	}
+}

@@ -1,0 +1,44 @@
+// Package bad exercises every construct hotpathalloc must flag inside an
+// annotated function.
+package bad
+
+type table struct {
+	m   map[uint32]uint64
+	buf []uint32
+}
+
+func helper() int { return 1 }
+
+//mithril:hotpath
+func Alloc(t *table, rows []uint32) int {
+	m := make(map[uint32]uint64) // want "make allocates in hot path"
+	_ = m
+	p := new(table) // want "new allocates in hot path"
+	_ = p
+	s := []uint32{1, 2, 3} // want "slice literal allocates in hot path"
+	_ = s
+	q := &table{} // want "address of composite literal allocates"
+	_ = q
+	go func() {}()               // want "go statement in hot path"
+	f := func() int { return 0 } // want "closure in hot path escapes"
+	_ = f
+	var grown []uint32
+	grown = append(grown, 1) // want "append to zero-value local slice"
+	_ = grown
+	return helper() // want "call to non-hotpath function"
+}
+
+//mithril:hotpath
+func Box(v uint64) any {
+	return v // want "interface boxing of uint64"
+}
+
+//mithril:hotpath
+func Concat(a, b string) string {
+	return a + b // want "string concatenation allocates in hot path"
+}
+
+//mithril:hotpath
+func Str(bs []byte) string {
+	return string(bs) // want "conversion to string allocates in hot path"
+}

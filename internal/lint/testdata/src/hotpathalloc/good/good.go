@@ -1,0 +1,48 @@
+// Package good contains hot-path code the hotpathalloc analyzer must
+// accept unchanged: pooled buffers, field appends, array literals, dynamic
+// dispatch, whitelisted stdlib calls, panic arguments, and explained
+// suppressions.
+package good
+
+import "math"
+
+type pool struct {
+	buf  []uint32
+	vals [4]uint64
+}
+
+type summary interface {
+	Observe(uint32)
+}
+
+//mithril:hotpath
+func helperHot(x int) int { return x + 1 }
+
+//mithril:hotpath
+func Steady(p *pool, s summary, row uint32) float64 {
+	p.buf = append(p.buf, row) // field append reuses owned storage
+	buf := p.buf[:0]           // pooled reuse, not zero-value growth
+	buf = append(buf, row)
+	_ = buf
+	pair := [2]uint32{row - 1, row + 1} // array literal stays on the stack
+	_ = pair
+	s.Observe(row)           // dynamic dispatch: checked at implementations
+	n := helperHot(int(row)) // annotated callee
+	scratch := p.vals[:]
+	_ = scratch
+	if row == 0 {
+		panic("impossible") // cold failure path: arguments exempt
+	}
+	return math.Sqrt(float64(n)) // whitelisted pure-computation package
+}
+
+//mithril:hotpath
+func Suppressed(p *pool) {
+	p.buf = make([]uint32, 0, 8) //mithril:allow hotpathalloc one-time pool refill, explained
+}
+
+// NotHot allocates freely: without the annotation the analyzer must stay
+// silent.
+func NotHot() []uint32 {
+	return append([]uint32{}, 1, 2, 3)
+}

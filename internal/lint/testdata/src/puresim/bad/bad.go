@@ -1,0 +1,24 @@
+// Package bad reads ambient process state from simulator-core positions.
+package bad
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now makes the simulator depend on ambient state"
+}
+
+func Roll() int {
+	return rand.Intn(6) // want "math/rand.Intn makes the simulator depend on ambient state"
+}
+
+func Env() string {
+	return os.Getenv("HOME") // want "os.Getenv makes the simulator depend on ambient state"
+}
+
+func Read(path string) ([]byte, error) {
+	return os.ReadFile(path) // want "os.ReadFile makes the simulator depend on ambient state"
+}

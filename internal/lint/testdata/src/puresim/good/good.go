@@ -1,0 +1,24 @@
+// Package good derives every value from explicit inputs: seeded generators
+// and injected state are deterministic, only the global entry points are
+// banned.
+package good
+
+import "math/rand"
+
+// Roll on a caller-seeded generator is deterministic state, not an ambient
+// read — methods are always allowed.
+func Roll(rng *rand.Rand) int {
+	return rng.Intn(6)
+}
+
+// Pick seeds locally: rand.New/rand.NewSource construct deterministic
+// state and are not on the deny list.
+func Pick(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// Stamp threads the clock in instead of reading it.
+func Stamp(now int64) int64 {
+	return now + 1
+}

@@ -1,0 +1,30 @@
+// Package bad violates both registry contracts: runtime registration with
+// dynamic names, and retention of scheme-owned victim slices.
+package bad
+
+var registry = map[string]func(){}
+
+func Register(name string, f func()) { registry[name] = f }
+
+func Setup(name string) {
+	Register(name, func() {}) // want "Register called outside an init function" "Register name must be a compile-time string constant"
+}
+
+type scheme struct{}
+
+func (scheme) OnActivate(bank int, row uint32) []uint32 { return nil }
+func (scheme) OnRFM(bank int) []uint32                  { return nil }
+
+type holder struct {
+	victims []uint32
+}
+
+func (h *holder) capture(s scheme) {
+	h.victims = s.OnActivate(0, 1) // want "retains a scheme-owned victim slice"
+}
+
+func captureLit(s scheme) holder {
+	return holder{victims: s.OnRFM(0)} // want "composite literal retains a scheme-owned victim slice"
+}
+
+var stored = scheme{}.OnRFM(0) // want "package variable retains a scheme-owned victim slice"

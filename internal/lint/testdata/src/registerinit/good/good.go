@@ -1,0 +1,29 @@
+// Package good follows both registry contracts: init-time registration
+// with literal names (directly or through a Register*-named forwarder), and
+// copying victim slices into owned storage.
+package good
+
+var registry = map[string]func(){}
+
+func Register(name string, f func()) { registry[name] = f }
+
+// RegisterDefault forwards its caller's name; the literal-name rule applies
+// at the forwarder's call sites.
+func RegisterDefault(name string) { Register(name, func() {}) }
+
+func init() {
+	Register("fixed", func() {})
+	RegisterDefault("other")
+}
+
+type scheme struct{}
+
+func (scheme) OnActivate(bank int, row uint32) []uint32 { return nil }
+
+type holder struct{ victims []uint32 }
+
+// capture copies the victims into owned storage — the sanctioned pattern.
+func (h *holder) capture(s scheme) {
+	v := s.OnActivate(0, 1) // a local binding inside the call window is fine
+	h.victims = append(h.victims[:0], v...)
+}

@@ -61,6 +61,8 @@ func NewAddressMapper(p timing.Params) *AddressMapper {
 }
 
 // Map decodes a physical byte address.
+//
+//mithril:hotpath
 func (m *AddressMapper) Map(addr uint64) Location {
 	a := addr >> uint(m.lineBits)
 	ch := int(a & (1<<uint(m.chBits) - 1))

@@ -161,6 +161,8 @@ func (c *Controller) QueueLen(channel int) int { return len(c.channels[channel].
 
 // Enqueue accepts a request into its channel queue; it reports false when
 // the queue is full (the core must retry).
+//
+//mithril:hotpath
 func (c *Controller) Enqueue(req *Request) bool {
 	req.Loc = c.mapper.Map(req.Addr)
 	cc := c.channels[req.Loc.Channel]
@@ -175,6 +177,8 @@ func (c *Controller) Enqueue(req *Request) bool {
 // retainVictims copies a scheme's victim list into pooled storage that
 // stays valid until the ARR job consumes it (schemes own their returned
 // slices and may overwrite them on the next call).
+//
+//mithril:hotpath
 func (c *Controller) retainVictims(v []uint32) []uint32 {
 	var buf []uint32
 	if n := len(c.victimPool); n > 0 {
@@ -185,12 +189,16 @@ func (c *Controller) retainVictims(v []uint32) []uint32 {
 }
 
 // releaseVictims returns a consumed ARR job's buffer to the pool.
+//
+//mithril:hotpath
 func (c *Controller) releaseVictims(v []uint32) {
 	c.victimPool = append(c.victimPool, v)
 }
 
 // markRFMDue records a bank reaching its RAA threshold (idempotent: raw
 // activations may keep counting past it).
+//
+//mithril:hotpath
 func (c *Controller) markRFMDue(g int) {
 	if !c.rfmDue[g] {
 		c.rfmDue[g] = true
@@ -199,18 +207,23 @@ func (c *Controller) markRFMDue(g int) {
 }
 
 // clearRFMDue releases a bank after its RFM was issued or skipped.
+//
+//mithril:hotpath
 func (c *Controller) clearRFMDue(channel, g int) {
 	c.rfmDue[g] = false
 	c.rfmDueCount[channel]--
 }
 
 // Tick advances every channel by one command slot at time now.
+//
+//mithril:hotpath
 func (c *Controller) Tick(now timing.PicoSeconds) {
 	for _, cc := range c.channels {
 		c.tickChannel(cc, now)
 	}
 }
 
+//mithril:hotpath
 func (c *Controller) tickChannel(cc *channelCtl, now timing.PicoSeconds) {
 	// 1. Auto-refresh has absolute priority.
 	for r := range cc.nextREF {
@@ -280,6 +293,8 @@ func (c *Controller) tickChannel(cc *channelCtl, now timing.PicoSeconds) {
 }
 
 // ready reports whether a request can start its next command at now.
+//
+//mithril:hotpath
 func (c *Controller) ready(req *Request, now timing.PicoSeconds) bool {
 	g := req.Loc.GlobalBank
 	bank := c.dev.Bank(g)
@@ -300,6 +315,7 @@ func (c *Controller) ready(req *Request, now timing.PicoSeconds) bool {
 	return true
 }
 
+//mithril:hotpath
 func (c *Controller) serve(cc *channelCtl, req *Request, now timing.PicoSeconds) {
 	g := req.Loc.GlobalBank
 	activated, dataAt := c.dev.Access(g, req.Loc.Row, req.Write, now)
@@ -336,6 +352,8 @@ func (c *Controller) serve(cc *channelCtl, req *Request, now timing.PicoSeconds)
 
 // RawActivate injects a bare activation (attack replay without a data
 // request); it updates RAA/mitigation state exactly like a served ACT.
+//
+//mithril:hotpath
 func (c *Controller) RawActivate(globalBank int, row int, now timing.PicoSeconds) timing.PicoSeconds {
 	if globalBank < 0 || globalBank >= c.dev.NumBanks() {
 		panic(fmt.Sprintf("mc: bank %d out of range", globalBank))
@@ -362,6 +380,8 @@ func (c *Controller) RAACount(globalBank int) int { return c.raa[globalBank] }
 
 // PendingWork reports whether any channel still holds queued requests or
 // pending maintenance.
+//
+//mithril:hotpath
 func (c *Controller) PendingWork() bool {
 	for _, cc := range c.channels {
 		if len(cc.queue) > 0 || len(cc.pendingARR) > 0 {
@@ -379,6 +399,8 @@ func (c *Controller) PendingWork() bool {
 // NextRefresh reports the earliest scheduled auto-refresh across ranks —
 // the only time-driven controller event, used by the simulator's idle
 // fast-forward.
+//
+//mithril:hotpath
 func (c *Controller) NextRefresh() timing.PicoSeconds {
 	var next timing.PicoSeconds = 1 << 62
 	for _, cc := range c.channels {
@@ -395,26 +417,20 @@ func (c *Controller) NextRefresh() timing.PicoSeconds {
 // pending maintenance might become actionable (a far-future sentinel when
 // the controller is idle). Throttle-blocked requests contribute their
 // release times, which lets the simulator fast-forward BlockHammer delays.
+//
+//mithril:hotpath
 func (c *Controller) NextWork(now timing.PicoSeconds) timing.PicoSeconds {
 	var next timing.PicoSeconds = 1 << 62
-	consider := func(t timing.PicoSeconds) {
-		if t < now {
-			t = now
-		}
-		if t < next {
-			next = t
-		}
-	}
 	for _, cc := range c.channels {
 		for _, job := range cc.pendingARR {
-			consider(c.dev.Bank(job.bank).BusyUntil())
+			next = earliest(next, c.dev.Bank(job.bank).BusyUntil(), now)
 		}
 		for _, r := range cc.queue {
 			t := r.blocked
 			if bu := c.dev.Bank(r.Loc.GlobalBank).BusyUntil(); bu > t {
 				t = bu
 			}
-			consider(t)
+			next = earliest(next, t, now)
 		}
 	}
 	for ch, n := range c.rfmDueCount {
@@ -424,9 +440,22 @@ func (c *Controller) NextWork(now timing.PicoSeconds) timing.PicoSeconds {
 		base := ch * c.p.Ranks * c.p.Banks
 		for g := base; g < base+c.p.Ranks*c.p.Banks; g++ {
 			if c.rfmDue[g] {
-				consider(c.dev.Bank(g).BusyUntil())
+				next = earliest(next, c.dev.Bank(g).BusyUntil(), now)
 			}
 		}
+	}
+	return next
+}
+
+// earliest folds candidate time t (clamped to now) into the running minimum.
+//
+//mithril:hotpath
+func earliest(next, t, now timing.PicoSeconds) timing.PicoSeconds {
+	if t < now {
+		t = now
+	}
+	if t < next {
+		return t
 	}
 	return next
 }

@@ -65,10 +65,12 @@ func newBlissState() *blissState {
 	return &blissState{lastCore: -1}
 }
 
+//mithril:hotpath
 func (b *blissState) blacklisted(core int, now timing.PicoSeconds) bool {
 	return core >= 0 && core < len(b.blackTill) && b.blackTill[core] > now
 }
 
+//mithril:hotpath
 func (b *blissState) recordServe(core int, now timing.PicoSeconds) {
 	if core == b.lastCore {
 		b.streak++
@@ -90,6 +92,8 @@ func (b *blissState) recordServe(core int, now timing.PicoSeconds) {
 // pick selects the next serveable request index from queue, or -1.
 // ready(i) reports whether request i can start at now (bank availability,
 // RFM-due blocking, throttle delays); rowHit(i) reports open-row locality.
+//
+//mithril:hotpath
 func pick(kind SchedulerKind, queue []*Request, bliss *blissState, now timing.PicoSeconds,
 	ready func(int) bool, rowHit func(int) bool) int {
 	best := -1

@@ -60,13 +60,21 @@ func (NoProtection) RFMCompatible() bool { return false }
 func (NoProtection) RFMTH() int { return 0 }
 
 // OnActivate implements Scheme.
+//
+//mithril:hotpath
 func (NoProtection) OnActivate(int, uint32, int, timing.PicoSeconds) []uint32 { return nil }
 
 // PreACTDelay implements Scheme.
+//
+//mithril:hotpath
 func (NoProtection) PreACTDelay(int, uint32, int, timing.PicoSeconds) timing.PicoSeconds { return 0 }
 
 // OnRFM implements Scheme.
+//
+//mithril:hotpath
 func (NoProtection) OnRFM(int, timing.PicoSeconds) []uint32 { return nil }
 
 // SkipRFM implements Scheme.
+//
+//mithril:hotpath
 func (NoProtection) SkipRFM(int) bool { return false }

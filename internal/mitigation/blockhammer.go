@@ -97,6 +97,7 @@ func (s *BlockHammer) RFMCompatible() bool { return false }
 // RFMTH implements mc.Scheme.
 func (s *BlockHammer) RFMTH() int { return 0 }
 
+//mithril:hotpath
 func (s *BlockHammer) filter(bank int) *streaming.DualCBF {
 	f := s.filters[bank]
 	if f == nil {
@@ -105,7 +106,7 @@ func (s *BlockHammer) filter(bank int) *streaming.DualCBF {
 		if half < 1 {
 			half = 1
 		}
-		f = streaming.NewDualCBF(s.cbfHashes, s.cbfCounters, half)
+		f = streaming.NewDualCBF(s.cbfHashes, s.cbfCounters, half) //mithril:allow hotpathalloc one-time lazy construction on a bank's first ACT
 		s.filters[bank] = f
 	}
 	return f
@@ -113,6 +114,8 @@ func (s *BlockHammer) filter(bank int) *streaming.DualCBF {
 
 // OnActivate implements mc.Scheme: feed the filters, arm the row throttle
 // when the estimate crosses NBL, and escalate repeat-offender threads.
+//
+//mithril:hotpath
 func (s *BlockHammer) OnActivate(bank int, row uint32, core int, now timing.PicoSeconds) []uint32 {
 	f := s.filter(bank)
 	f.Observe(row)
@@ -120,7 +123,7 @@ func (s *BlockHammer) OnActivate(bank int, row uint32, core int, now timing.Pico
 		s.blacklisted++
 		na := s.nextACT[bank]
 		if na == nil {
-			na = make([]timing.PicoSeconds, s.opt.Timing.Rows)
+			na = make([]timing.PicoSeconds, s.opt.Timing.Rows) //mithril:allow hotpathalloc one-time per-bank array on the first blacklist event
 			s.nextACT[bank] = na
 		}
 		na[row] = now + s.tDelay
@@ -140,6 +143,8 @@ func (s *BlockHammer) OnActivate(bank int, row uint32, core int, now timing.Pico
 
 // PreACTDelay implements mc.Scheme: blacklisted rows (and escalated
 // threads) wait out their release times.
+//
+//mithril:hotpath
 func (s *BlockHammer) PreACTDelay(bank int, row uint32, core int, now timing.PicoSeconds) timing.PicoSeconds {
 	var until timing.PicoSeconds
 	if na := s.nextACT[bank]; na != nil {
@@ -157,9 +162,13 @@ func (s *BlockHammer) PreACTDelay(bank int, row uint32, core int, now timing.Pic
 }
 
 // OnRFM implements mc.Scheme.
+//
+//mithril:hotpath
 func (s *BlockHammer) OnRFM(int, timing.PicoSeconds) []uint32 { return nil }
 
 // SkipRFM implements mc.Scheme.
+//
+//mithril:hotpath
 func (s *BlockHammer) SkipRFM(int) bool { return false }
 
 // CollidingRows implements the attack.Throttler oracle: for each of the

@@ -76,10 +76,12 @@ func (s *CBT) RFMCompatible() bool { return false }
 func (s *CBT) RFMTH() int { return 0 }
 
 // OnActivate implements mc.Scheme.
+//
+//mithril:hotpath
 func (s *CBT) OnActivate(bank int, row uint32, core int, now timing.PicoSeconds) []uint32 {
 	nodes := s.banks[bank]
 	if nodes == nil {
-		nodes = []cbtNode{{lo: 0, hi: s.opt.Timing.Rows}}
+		nodes = []cbtNode{{lo: 0, hi: s.opt.Timing.Rows}} //mithril:allow hotpathalloc one-time lazy seed on a bank's first ACT
 	}
 	idx := -1
 	for i := range nodes {
@@ -124,10 +126,16 @@ func (s *CBT) OnActivate(bank int, row uint32, core int, now timing.PicoSeconds)
 }
 
 // PreACTDelay implements mc.Scheme.
+//
+//mithril:hotpath
 func (s *CBT) PreACTDelay(int, uint32, int, timing.PicoSeconds) timing.PicoSeconds { return 0 }
 
 // OnRFM implements mc.Scheme.
+//
+//mithril:hotpath
 func (s *CBT) OnRFM(int, timing.PicoSeconds) []uint32 { return nil }
 
 // SkipRFM implements mc.Scheme.
+//
+//mithril:hotpath
 func (s *CBT) SkipRFM(int) bool { return false }

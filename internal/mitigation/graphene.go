@@ -71,12 +71,14 @@ func (s *Graphene) RFMCompatible() bool { return false }
 func (s *Graphene) RFMTH() int { return 0 }
 
 // OnActivate implements mc.Scheme: CbS update plus reactive ARR trigger.
+//
+//mithril:hotpath
 func (s *Graphene) OnActivate(bank int, row uint32, core int, now timing.PicoSeconds) []uint32 {
 	// Periodic reset at every tREFW/2.
 	if now-s.lastReset >= s.opt.Timing.TREFW/2 {
 		for b, t := range s.tables {
 			if t != nil {
-				t.Reset()
+				t.Reset() //mithril:allow hotpathalloc twice-per-tREFW table reset is Graphene's modeled cost, off the per-ACT path
 			}
 			s.nextLevel[b] = nil
 		}
@@ -85,12 +87,12 @@ func (s *Graphene) OnActivate(bank int, row uint32, core int, now timing.PicoSec
 	}
 	t := s.tables[bank]
 	if t == nil {
-		t = streaming.NewSpaceSaving(s.nEntry)
+		t = streaming.NewSpaceSaving(s.nEntry) //mithril:allow hotpathalloc one-time lazy construction on a bank's first ACT
 		s.tables[bank] = t
 	}
 	levels := s.nextLevel[bank]
 	if levels == nil {
-		levels = make(map[uint32]uint64, s.nEntry)
+		levels = make(map[uint32]uint64, s.nEntry) //mithril:allow hotpathalloc rebuilt only after a reset; bounded by nEntry
 		s.nextLevel[bank] = levels
 	}
 	if evicted, ok := t.ObserveEvict(row); ok {
@@ -115,10 +117,16 @@ func (s *Graphene) OnActivate(bank int, row uint32, core int, now timing.PicoSec
 }
 
 // PreACTDelay implements mc.Scheme.
+//
+//mithril:hotpath
 func (s *Graphene) PreACTDelay(int, uint32, int, timing.PicoSeconds) timing.PicoSeconds { return 0 }
 
 // OnRFM implements mc.Scheme.
+//
+//mithril:hotpath
 func (s *Graphene) OnRFM(int, timing.PicoSeconds) []uint32 { return nil }
 
 // SkipRFM implements mc.Scheme.
+//
+//mithril:hotpath
 func (s *Graphene) SkipRFM(int) bool { return false }

@@ -93,10 +93,11 @@ func (s *MithrilScheme) ModuleStats() core.Stats {
 	return total
 }
 
+//mithril:hotpath
 func (s *MithrilScheme) module(bank int) *core.Mithril {
 	m := s.modules[bank]
 	if m == nil {
-		m = core.New(s.cfg)
+		m = core.New(s.cfg) //mithril:allow hotpathalloc one-time lazy construction on a bank's first ACT
 		s.modules[bank] = m
 	}
 	return m
@@ -117,17 +118,23 @@ func (s *MithrilScheme) RFMCompatible() bool { return true }
 func (s *MithrilScheme) RFMTH() int { return s.cfg.RFMTH }
 
 // OnActivate implements mc.Scheme: DRAM-side table update, no ARR.
+//
+//mithril:hotpath
 func (s *MithrilScheme) OnActivate(bank int, row uint32, coreID int, now timing.PicoSeconds) []uint32 {
 	s.module(bank).OnActivate(row)
 	return nil
 }
 
 // PreACTDelay implements mc.Scheme.
+//
+//mithril:hotpath
 func (s *MithrilScheme) PreACTDelay(int, uint32, int, timing.PicoSeconds) timing.PicoSeconds {
 	return 0
 }
 
 // OnRFM implements mc.Scheme: greedy selection inside the tRFM window.
+//
+//mithril:hotpath
 func (s *MithrilScheme) OnRFM(bank int, now timing.PicoSeconds) []uint32 {
 	_, v, refreshed := s.module(bank).OnRFM()
 	if !refreshed {
@@ -137,6 +144,8 @@ func (s *MithrilScheme) OnRFM(bank int, now timing.PicoSeconds) []uint32 {
 }
 
 // SkipRFM implements mc.Scheme: only Mithril+ exposes the flag to the MC.
+//
+//mithril:hotpath
 func (s *MithrilScheme) SkipRFM(bank int) bool {
 	if !s.plus {
 		return false

@@ -99,6 +99,8 @@ func PaperRFMTH(flipTH int) int {
 // reusing its storage. Schemes keep one such buffer so the ACT/RFM hot path
 // stays allocation-free; per the mc.Scheme contract the result is only
 // valid until the scheme's next call.
+//
+//mithril:hotpath
 func appendVictims(buf []uint32, aggressor uint32, radius int) []uint32 {
 	return core.AppendVictimRows(buf[:0], aggressor, radius)
 }

@@ -55,6 +55,8 @@ func (s *PARA) RFMCompatible() bool { return false }
 func (s *PARA) RFMTH() int { return 0 }
 
 // OnActivate implements mc.Scheme: coin flip per ACT.
+//
+//mithril:hotpath
 func (s *PARA) OnActivate(bank int, row uint32, core int, now timing.PicoSeconds) []uint32 {
 	if s.rng.Float64() >= s.p {
 		return nil
@@ -70,12 +72,18 @@ func (s *PARA) OnActivate(bank int, row uint32, core int, now timing.PicoSeconds
 }
 
 // PreACTDelay implements mc.Scheme.
+//
+//mithril:hotpath
 func (s *PARA) PreACTDelay(int, uint32, int, timing.PicoSeconds) timing.PicoSeconds { return 0 }
 
 // OnRFM implements mc.Scheme.
+//
+//mithril:hotpath
 func (s *PARA) OnRFM(int, timing.PicoSeconds) []uint32 { return nil }
 
 // SkipRFM implements mc.Scheme.
+//
+//mithril:hotpath
 func (s *PARA) SkipRFM(int) bool { return false }
 
 // PARFM (Section III-E): the RFM-compatible probabilistic scheme. The DRAM
@@ -124,10 +132,12 @@ func (s *PARFM) RFMCompatible() bool { return true }
 func (s *PARFM) RFMTH() int { return s.rfmTH }
 
 // OnActivate implements mc.Scheme: record the row in the bank's ring.
+//
+//mithril:hotpath
 func (s *PARFM) OnActivate(bank int, row uint32, core int, now timing.PicoSeconds) []uint32 {
 	ring := s.recent[bank]
 	if ring == nil {
-		ring = make([]uint32, 0, s.rfmTH)
+		ring = make([]uint32, 0, s.rfmTH) //mithril:allow hotpathalloc one-time lazy ring construction on a bank's first ACT
 	}
 	if len(ring) < s.rfmTH {
 		ring = append(ring, row)
@@ -140,9 +150,13 @@ func (s *PARFM) OnActivate(bank int, row uint32, core int, now timing.PicoSecond
 }
 
 // PreACTDelay implements mc.Scheme.
+//
+//mithril:hotpath
 func (s *PARFM) PreACTDelay(int, uint32, int, timing.PicoSeconds) timing.PicoSeconds { return 0 }
 
 // OnRFM implements mc.Scheme: sample one of the last RFMTH ACTs.
+//
+//mithril:hotpath
 func (s *PARFM) OnRFM(bank int, now timing.PicoSeconds) []uint32 {
 	ring := s.recent[bank]
 	if len(ring) == 0 {
@@ -154,4 +168,6 @@ func (s *PARFM) OnRFM(bank int, now timing.PicoSeconds) []uint32 {
 }
 
 // SkipRFM implements mc.Scheme.
+//
+//mithril:hotpath
 func (s *PARFM) SkipRFM(int) bool { return false }

@@ -78,18 +78,20 @@ func (s *TWiCe) RFMCompatible() bool { return false }
 func (s *TWiCe) RFMTH() int { return 0 }
 
 // OnActivate implements mc.Scheme.
+//
+//mithril:hotpath
 func (s *TWiCe) OnActivate(bank int, row uint32, core int, now timing.PicoSeconds) []uint32 {
 	if now-s.lastReset >= s.opt.Timing.TREFW {
 		for _, t := range s.tables {
 			if t != nil {
-				t.Reset()
+				t.Reset() //mithril:allow hotpathalloc once-per-tREFW table reset, off the per-ACT path
 			}
 		}
 		s.lastReset = now
 	}
 	t := s.tables[bank]
 	if t == nil {
-		t = streaming.NewLossyCounting(s.width)
+		t = streaming.NewLossyCounting(s.width) //mithril:allow hotpathalloc one-time lazy construction on a bank's first ACT
 		s.tables[bank] = t
 	}
 	t.Observe(row)
@@ -104,10 +106,16 @@ func (s *TWiCe) OnActivate(bank int, row uint32, core int, now timing.PicoSecond
 }
 
 // PreACTDelay implements mc.Scheme.
+//
+//mithril:hotpath
 func (s *TWiCe) PreACTDelay(int, uint32, int, timing.PicoSeconds) timing.PicoSeconds { return 0 }
 
 // OnRFM implements mc.Scheme.
+//
+//mithril:hotpath
 func (s *TWiCe) OnRFM(int, timing.PicoSeconds) []uint32 { return nil }
 
 // SkipRFM implements mc.Scheme.
+//
+//mithril:hotpath
 func (s *TWiCe) SkipRFM(int) bool { return false }

@@ -81,6 +81,8 @@ func NewChecker(rows, flipTH int, weights []float64) *Checker {
 
 // OnActivate records one ACT on row at the given time, disturbing every
 // neighbour within the blast radius.
+//
+//mithril:hotpath
 func (c *Checker) OnActivate(row int, now timing.PicoSeconds) {
 	if row < 0 || row >= c.rows {
 		panic(fmt.Sprintf("rh: activate of row %d outside bank of %d rows", row, c.rows))
@@ -107,6 +109,8 @@ func (c *Checker) OnActivate(row int, now timing.PicoSeconds) {
 
 // OnRefresh records a refresh (auto or preventive) of row, resetting its
 // accumulated disturbance.
+//
+//mithril:hotpath
 func (c *Checker) OnRefresh(row int) {
 	if row < 0 || row >= c.rows {
 		return // refresh sweeps may address padding rows; ignore

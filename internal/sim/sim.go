@@ -99,6 +99,7 @@ type completion struct {
 // unspecified; completions commute (each touches only its own core).
 type completionHeap []completion
 
+//mithril:hotpath
 func (h *completionHeap) push(c completion) {
 	*h = append(*h, c)
 	s := *h
@@ -113,6 +114,7 @@ func (h *completionHeap) push(c completion) {
 	}
 }
 
+//mithril:hotpath
 func (h *completionHeap) pop() completion {
 	s := *h
 	top := s[0]
@@ -142,6 +144,7 @@ func (h *completionHeap) pop() completion {
 // genSource adapts a trace.Generator to the core's Source interface.
 type genSource struct{ g trace.Generator }
 
+//mithril:hotpath
 func (s genSource) Next() cpu.Op {
 	a := s.g.Next()
 	return cpu.Op{Gap: a.Gap, Addr: a.Addr, Write: a.Write, Serialize: a.Serialize, Uncached: a.Uncached}
@@ -186,8 +189,6 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		cores[i] = cpu.NewCore(i, cfg.CoreCfg, wrapSpace{genSource{g}, space}, llc, cfg.InstrPerCore, ctl.Enqueue)
 	}
 
-	now := timing.PicoSeconds(0)
-	tick := cfg.Params.TCK
 	cancellable := ctx.Done() != nil
 	if cancellable {
 		// Short runs can finish inside one check interval; an already-
@@ -196,6 +197,24 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 			return Result{}, err
 		}
 	}
+	now, allDone, err := runLoop(ctx, &cfg, cores, ctl, &pending, cancellable)
+	if err != nil {
+		return Result{}, err
+	}
+	res := collect(cfg, scheme, cores, dev, ctl, llc, now)
+	res.Finished = allDone
+	return res, nil
+}
+
+// runLoop is the simulator's tick loop: deliver completions, advance cores,
+// tick the controller, fast-forward over idle stretches. It returns when the
+// required cores finish or MaxTime passes (allDone distinguishes the two),
+// or with ctx's error on cancellation. Everything it calls per iteration is
+// allocation-free; the loop's cost is what the sweep harness amortizes.
+//
+//mithril:hotpath
+func runLoop(ctx context.Context, cfg *Config, cores []*cpu.Core, ctl *mc.Controller, pending *completionHeap, cancellable bool) (now timing.PicoSeconds, allDone bool, err error) {
+	tick := cfg.Params.TCK
 	sinceCheck := 0
 	for {
 		if cancellable {
@@ -203,12 +222,12 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 			if sinceCheck >= cancelCheckInterval {
 				sinceCheck = 0
 				if err := ctx.Err(); err != nil {
-					return Result{}, err
+					return now, false, err
 				}
 			}
 		}
 		// Deliver due completions.
-		for len(pending) > 0 && pending[0].at <= now {
+		for len(*pending) > 0 && (*pending)[0].at <= now {
 			c := pending.pop()
 			cores[c.core].Complete(c.reqID, c.at)
 		}
@@ -216,7 +235,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		if required <= 0 || required > len(cores) {
 			required = len(cores)
 		}
-		allDone := true
+		allDone = true
 		for i, core := range cores {
 			core.Advance(now)
 			if i < required && !core.Finished() {
@@ -224,9 +243,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 			}
 		}
 		if allDone || now > cfg.MaxTime {
-			res := collect(cfg, scheme, cores, dev, ctl, llc, now)
-			res.Finished = allDone
-			return res, nil
+			return now, allDone, nil
 		}
 		ctl.Tick(now)
 		now += tick
@@ -239,8 +256,8 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		if t := ctl.NextRefresh(); t < next {
 			next = t
 		}
-		if len(pending) > 0 && pending[0].at < next {
-			next = pending[0].at
+		if len(*pending) > 0 && (*pending)[0].at < next {
+			next = (*pending)[0].at
 		}
 		for _, core := range cores {
 			if t := core.NextReady(); t < next {
@@ -259,6 +276,7 @@ type wrapSpace struct {
 	space uint64
 }
 
+//mithril:hotpath
 func (w wrapSpace) Next() cpu.Op {
 	op := w.inner.Next()
 	op.Addr %= w.space

@@ -3,6 +3,8 @@ package streaming
 // splitmix64 is the SplitMix64 finalizer, used as the base mixing function
 // for all sketch hashing in this package. It is deterministic, stdlib-free,
 // and passes avalanche tests, which keeps sketches reproducible across runs.
+//
+//mithril:hotpath
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
@@ -11,6 +13,8 @@ func splitmix64(x uint64) uint64 {
 }
 
 // hashKey mixes a 32-bit key with a seed into a 64-bit hash.
+//
+//mithril:hotpath
 func hashKey(key uint32, seed uint64) uint64 {
 	return splitmix64(uint64(key) ^ splitmix64(seed))
 }
@@ -30,6 +34,8 @@ func NewRand(seed uint64) *Rand {
 }
 
 // Uint64 returns the next pseudo-random value.
+//
+//mithril:hotpath
 func (r *Rand) Uint64() uint64 {
 	x := r.state
 	x ^= x >> 12
@@ -40,11 +46,15 @@ func (r *Rand) Uint64() uint64 {
 }
 
 // Float64 returns a uniform value in [0, 1).
+//
+//mithril:hotpath
 func (r *Rand) Float64() float64 {
 	return float64(r.Uint64()>>11) / float64(1<<53)
 }
 
 // Intn returns a uniform value in [0, n). It panics when n <= 0.
+//
+//mithril:hotpath
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {
 		panic("streaming: Intn with non-positive n")

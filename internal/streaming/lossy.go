@@ -35,11 +35,13 @@ func NewLossyCounting(width int) *LossyCounting {
 }
 
 // Observe records one occurrence of key.
+//
+//mithril:hotpath
 func (l *LossyCounting) Observe(key uint32) {
 	if e, ok := l.table[key]; ok {
 		e.f++
 	} else {
-		l.table[key] = &lossyEntry{f: 1, delta: uint64(l.current - 1)}
+		l.table[key] = &lossyEntry{f: 1, delta: uint64(l.current - 1)} //mithril:allow hotpathalloc heap-backed table is TWiCe's modeled inefficiency, not a simulator defect
 		if len(l.table) > l.maxLive {
 			l.maxLive = len(l.table)
 		}
@@ -52,6 +54,7 @@ func (l *LossyCounting) Observe(key uint32) {
 	}
 }
 
+//mithril:hotpath
 func (l *LossyCounting) prune() {
 	for key, e := range l.table {
 		if e.f+e.delta <= uint64(l.current) {
@@ -63,6 +66,8 @@ func (l *LossyCounting) prune() {
 // Estimate reports the conservative upper bound f + Δ for on-table keys and
 // the maximum undercount (current bucket id − 1) otherwise, mirroring how a
 // deterministic RH scheme must treat untracked rows.
+//
+//mithril:hotpath
 func (l *LossyCounting) Estimate(key uint32) uint64 {
 	if e, ok := l.table[key]; ok {
 		return e.f + e.delta
@@ -112,6 +117,8 @@ func (l *LossyCounting) Max() (uint32, uint64, bool) {
 }
 
 // Drop removes a key (TWiCe prunes a row after its victims are refreshed).
+//
+//mithril:hotpath
 func (l *LossyCounting) Drop(key uint32) { delete(l.table, key) }
 
 // Reset clears the tracker.

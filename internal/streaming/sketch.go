@@ -30,6 +30,8 @@ func NewCountMinSketch(rows, width int) *CountMinSketch {
 }
 
 // Observe increments the counters for key in every row.
+//
+//mithril:hotpath
 func (s *CountMinSketch) Observe(key uint32) {
 	for i := range s.data {
 		s.data[i][hashKey(key, s.seeds[i])%uint64(s.width)]++
@@ -37,6 +39,8 @@ func (s *CountMinSketch) Observe(key uint32) {
 }
 
 // Estimate reports the minimum counter across rows (never an underestimate).
+//
+//mithril:hotpath
 func (s *CountMinSketch) Estimate(key uint32) uint64 {
 	min := uint32(1<<32 - 1)
 	for i := range s.data {
@@ -48,6 +52,8 @@ func (s *CountMinSketch) Estimate(key uint32) uint64 {
 }
 
 // Reset zeroes all counters.
+//
+//mithril:hotpath
 func (s *CountMinSketch) Reset() {
 	for i := range s.data {
 		for j := range s.data[i] {
@@ -96,6 +102,8 @@ func NewDualCBF(rows, width, epochACTs int) *DualCBF {
 }
 
 // Observe feeds both filters and rotates them at half-epoch boundaries.
+//
+//mithril:hotpath
 func (d *DualCBF) Observe(key uint32) {
 	d.filters[0].Observe(key)
 	d.filters[1].Observe(key)
@@ -109,6 +117,8 @@ func (d *DualCBF) Observe(key uint32) {
 }
 
 // Estimate queries the active filter.
+//
+//mithril:hotpath
 func (d *DualCBF) Estimate(key uint32) uint64 { return d.filters[d.active].Estimate(key) }
 
 // Reset clears both filters.

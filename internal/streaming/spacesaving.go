@@ -54,11 +54,13 @@ func NewSpaceSaving(capacity int) *SpaceSaving {
 // bucketFor returns the bucket for count, creating and splicing it after
 // the given predecessor (which must have a smaller count, or nil to insert
 // at the head).
+//
+//mithril:hotpath
 func (s *SpaceSaving) bucketFor(count uint64, after *ssBucket) *ssBucket {
 	if b, ok := s.buckets[count]; ok {
 		return b
 	}
-	b := &ssBucket{count: count, head: -1}
+	b := &ssBucket{count: count, head: -1} //mithril:allow hotpathalloc live buckets are bounded by table capacity; steady state reuses existing counts
 	s.buckets[count] = b
 	if after == nil {
 		b.next = s.minB
@@ -82,6 +84,7 @@ func (s *SpaceSaving) bucketFor(count uint64, after *ssBucket) *ssBucket {
 	return b
 }
 
+//mithril:hotpath
 func (s *SpaceSaving) detachEntry(slot int) {
 	e := &s.entries[slot]
 	b := e.bucket
@@ -99,6 +102,7 @@ func (s *SpaceSaving) detachEntry(slot int) {
 	}
 }
 
+//mithril:hotpath
 func (s *SpaceSaving) removeBucket(b *ssBucket) {
 	if b.prev != nil {
 		b.prev.next = b.next
@@ -113,6 +117,7 @@ func (s *SpaceSaving) removeBucket(b *ssBucket) {
 	delete(s.buckets, b.count)
 }
 
+//mithril:hotpath
 func (s *SpaceSaving) attachEntry(slot int, b *ssBucket) {
 	e := &s.entries[slot]
 	e.bucket = b
@@ -125,6 +130,8 @@ func (s *SpaceSaving) attachEntry(slot int, b *ssBucket) {
 }
 
 // Observe implements the CbS update rule in O(1).
+//
+//mithril:hotpath
 func (s *SpaceSaving) Observe(key uint32) { s.ObserveEvict(key) }
 
 // ObserveEvict is Observe plus eviction reporting: when recording key
@@ -132,6 +139,8 @@ func (s *SpaceSaving) Observe(key uint32) { s.ObserveEvict(key) }
 // is returned with ok = true. Trackers that keep per-row side state keyed
 // to table residency (Graphene's trigger levels) use it to drop the
 // departing row's state.
+//
+//mithril:hotpath
 func (s *SpaceSaving) ObserveEvict(key uint32) (evicted uint32, ok bool) {
 	if slot, hit := s.index[key]; hit {
 		s.promote(slot, 1)
@@ -161,6 +170,8 @@ func (s *SpaceSaving) ObserveEvict(key uint32) (evicted uint32, ok bool) {
 }
 
 // promote moves the entry at slot up by delta counts.
+//
+//mithril:hotpath
 func (s *SpaceSaving) promote(slot int, delta uint64) {
 	b := s.entries[slot].bucket
 	target := b.count + delta
@@ -192,6 +203,8 @@ func (s *SpaceSaving) promote(slot int, delta uint64) {
 }
 
 // Estimate reports the written counter for on-table keys and Min otherwise.
+//
+//mithril:hotpath
 func (s *SpaceSaving) Estimate(key uint32) uint64 {
 	if slot, ok := s.index[key]; ok {
 		return s.entries[slot].bucket.count
@@ -206,6 +219,8 @@ func (s *SpaceSaving) Contains(key uint32) bool {
 }
 
 // Min reports the minimum counter value (0 while the table has free slots).
+//
+//mithril:hotpath
 func (s *SpaceSaving) Min() uint64 {
 	if len(s.free) > 0 || s.minB == nil {
 		return 0
@@ -214,6 +229,8 @@ func (s *SpaceSaving) Min() uint64 {
 }
 
 // Max reports an entry with the maximum counter value.
+//
+//mithril:hotpath
 func (s *SpaceSaving) Max() (uint32, uint64, bool) {
 	if s.maxB == nil {
 		return 0, 0, false
@@ -223,6 +240,8 @@ func (s *SpaceSaving) Max() (uint32, uint64, bool) {
 
 // DecrementMaxToMin moves one maximum entry down to the minimum count — the
 // Mithril greedy RFM step — in O(1).
+//
+//mithril:hotpath
 func (s *SpaceSaving) DecrementMaxToMin() (uint32, bool) {
 	if s.maxB == nil {
 		return 0, false
@@ -244,6 +263,8 @@ func (s *SpaceSaving) DecrementMaxToMin() (uint32, bool) {
 }
 
 // Spread is Max − Min.
+//
+//mithril:hotpath
 func (s *SpaceSaving) Spread() uint64 {
 	if s.maxB == nil {
 		return 0

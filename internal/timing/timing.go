@@ -148,6 +148,8 @@ func (p Params) TotalBanks() int { return p.Channels * p.Ranks * p.Banks }
 // ACTsPerREFW is the maximum number of activations a single bank can absorb
 // within one refresh window, accounting for the time stolen by auto-refresh:
 // tREFW·(1 − tRFC/tREFI) / tRC. This is the stream length S in the analysis.
+//
+//mithril:hotpath
 func (p Params) ACTsPerREFW() int {
 	avail := float64(p.TREFW) * (1 - float64(p.TRFC)/float64(p.TREFI))
 	return int(avail / float64(p.TRC))

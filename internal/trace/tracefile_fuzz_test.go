@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParseTrace drives the trace parser with arbitrary byte streams. Three
+// properties must hold on every input: the parser never panics, every
+// accepted record satisfies the documented invariants (gap >= 0, address
+// below MaxTraceAddr), and accepted traces survive a WriteTrace/ParseTrace
+// round trip byte-exactly.
+func FuzzParseTrace(f *testing.F) {
+	for _, seed := range []string{
+		filepath.Join("..", "..", "testdata", "sample_workload.trace"),
+		filepath.Join("testdata", "sample.trace"),
+		filepath.Join("testdata", "sample.canonical.trace"),
+	} {
+		data, err := os.ReadFile(seed)
+		if err != nil {
+			f.Fatalf("reading seed %s: %v", seed, err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(""))
+	f.Add([]byte("# comment only\n"))
+	f.Add([]byte("12 R 0xdeadbeef\n0 W 0x0\n"))
+	f.Add([]byte("1 W 0xffffffffff\n"))        // last in-range address
+	f.Add([]byte("-1 R 0x0\n"))                // negative gap
+	f.Add([]byte("1 X 0x10\n"))                // bad op
+	f.Add([]byte("1 R 10\n"))                  // missing 0x prefix
+	f.Add([]byte("1 R 0x10000000000\n"))       // address out of range
+	f.Add([]byte{0x1f, 0x8b})                  // bare gzip magic, truncated stream
+	f.Add([]byte{0x1f, 0x8b, 0x08, 0, 0, 0})   // gzip header, no body
+	f.Add([]byte("9999999999999999999 R 0x0")) // gap overflows int64
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ParseTrace(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: any error is fine, panics are not
+		}
+		if len(recs) == 0 {
+			t.Fatalf("ParseTrace returned no records and no error")
+		}
+		for i, r := range recs {
+			if r.Gap < 0 {
+				t.Fatalf("record %d: negative gap %d", i, r.Gap)
+			}
+			if r.Addr >= MaxTraceAddr {
+				t.Fatalf("record %d: address %#x out of range", i, r.Addr)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, recs); err != nil {
+			t.Fatalf("WriteTrace on accepted records: %v", err)
+		}
+		again, err := ParseTrace(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reparsing canonical output: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(recs), len(again))
+		}
+		for i := range recs {
+			if recs[i] != again[i] {
+				t.Fatalf("record %d changed in round trip: %+v -> %+v", i, recs[i], again[i])
+			}
+		}
+	})
+}
