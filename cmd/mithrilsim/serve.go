@@ -38,6 +38,10 @@ func serveCmd(ctx context.Context, e env, _ []string) error {
 	}
 	go func() {
 		<-ctx.Done()
+		// The shutdown deadline must not inherit ctx: ctx is already done
+		// when this runs, and Shutdown needs a fresh 5s grace window to
+		// drain in-flight responses before the listener is torn down.
+		//mithril:allow ctxflow deliberate fresh root: parent ctx is already cancelled here
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutCtx)

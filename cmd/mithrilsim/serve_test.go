@@ -6,10 +6,10 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
-	"runtime"
 	"strings"
 	"testing"
-	"time"
+
+	"mithril/internal/testutil"
 )
 
 // testSpec is a tiny comparison grid: 2 rows, fast enough for unit tests.
@@ -39,6 +39,7 @@ const slowSpec = `{
 }`
 
 func TestServeRunStreamsNDJSON(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	ts := httptest.NewServer(newServeHandler(env{jobs: 2}))
 	defer ts.Close()
 	resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(testSpec))
@@ -191,9 +192,12 @@ func TestServeWorkloadAndAttackCatalogs(t *testing.T) {
 // as the goroutine count settling back to its pre-request level) instead
 // of leaving the grid running to completion against a dead connection.
 func TestServeClientDisconnectCancelsSweep(t *testing.T) {
+	// The leak check doubles as the unwind assertion: the handler's
+	// workers all run module code, so any of them surviving the
+	// disconnect fails the deferred diff.
+	defer testutil.CheckGoroutines(t)()
 	ts := httptest.NewServer(newServeHandler(env{jobs: 2}))
 	defer ts.Close()
-	baseline := runtime.NumGoroutine()
 
 	ctx, cancel := context.WithCancel(context.Background())
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/run", strings.NewReader(slowSpec))
@@ -212,16 +216,6 @@ func TestServeClientDisconnectCancelsSweep(t *testing.T) {
 	}
 	cancel()
 	resp.Body.Close()
-
-	// The handler's stream must unwind: workers exit, the handler returns,
-	// and the goroutine count returns to the pre-request level.
-	deadline := time.Now().Add(15 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= baseline {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	t.Fatalf("workers never stopped after disconnect: %d goroutines > baseline %d",
-		runtime.NumGoroutine(), baseline)
+	// The deferred goroutine diff now proves the unwind: workers exit and
+	// the handler returns, or the test fails with their stacks.
 }

@@ -4,9 +4,9 @@ import (
 	"context"
 	"errors"
 	"reflect"
-	"runtime"
 	"testing"
-	"time"
+
+	"mithril/internal/testutil"
 )
 
 // tinySpec is a comparison grid small enough for unit tests.
@@ -52,6 +52,7 @@ func TestEngineRunSpecMatchesSpecRun(t *testing.T) {
 // TestEngineStreamMatchesRunSpec pins the streaming guarantee at the
 // public surface: reassembling Stream's rows by Index reproduces RunSpec.
 func TestEngineStreamMatchesRunSpec(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	sp := parseTinySpec(t)
 	eng := NewEngine(DDR5(), WithJobs(2))
 	batch, err := eng.RunSpec(context.Background(), sp)
@@ -120,9 +121,9 @@ func TestEngineCompareMatchesDeprecatedShim(t *testing.T) {
 }
 
 func TestEngineStreamCancelStopsWorkers(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	sp := parseTinySpec(t)
 	sp.Axes.Seeds = []uint64{1, 2, 3, 4, 5, 6}
-	baseline := runtime.NumGoroutine()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	eng := NewEngine(DDR5(), WithJobs(2))
@@ -140,13 +141,6 @@ func TestEngineStreamCancelStopsWorkers(t *testing.T) {
 	}
 	if !errors.Is(sawErr, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", sawErr)
-	}
-	deadline := time.Now().Add(5 * time.Second)
-	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
-	if g := runtime.NumGoroutine(); g > baseline {
-		t.Fatalf("leaked goroutines: %d > %d", g, baseline)
 	}
 }
 

@@ -476,6 +476,10 @@ func schemeTableKB(name string, flipTH int) float64 {
 // ---------------------------------------------------------------- executors
 
 // Run resolves the spec's own scale and executes the grid.
+//
+// Deprecated: use Engine.RunSpec (or RunAtContext), which threads a
+// context for cancellation. The ctx-less signature is pinned by
+// internal/apicompat.
 func (s *Spec) Run() (*Result, error) {
 	sc, err := s.Scale.Resolve()
 	if err != nil {
@@ -488,7 +492,12 @@ func (s *Spec) Run() (*Result, error) {
 // (the library's figure wrappers pass their caller's Scale; the CLI passes
 // the spec's resolved scale with the -jobs override applied). Rows come
 // back in the deterministic Expand order regardless of worker count.
+//
+// Deprecated: use Engine.RunSpecAt (or RunAtContext), which threads a
+// context for cancellation. The ctx-less signature is pinned by
+// internal/apicompat.
 func (s *Spec) RunAt(sc Scale) (*Result, error) {
+	//mithril:allow ctxflow deprecated ctx-less shim pinned by apicompat; RunAtContext is the ctx path
 	return s.RunAtContext(context.Background(), sc, nil)
 }
 
@@ -714,6 +723,10 @@ func (rr *rowRunner) run(ctx context.Context, i int) (Row, error) {
 }
 
 // reportProgress serializes the Progress hook so callers need no locking.
+// Invoking the hook inside the critical section is the documented
+// contract — Progress hooks must be fast and must not block (see
+// ExecOptions.Progress) — which is exactly what lockheld cannot prove
+// about a caller-supplied function value, hence the explained allow.
 func (rr *rowRunner) reportProgress() {
 	if rr.onRow == nil {
 		return
@@ -721,6 +734,7 @@ func (rr *rowRunner) reportProgress() {
 	rr.mu.Lock()
 	defer rr.mu.Unlock()
 	rr.done++
+	//mithril:allow lockheld serialized Progress hook; contract: hooks must not block
 	rr.onRow(rr.done, rr.total)
 }
 

@@ -24,6 +24,9 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{DetRange, []string{"detrange/bad", "detrange/good"}},
 		{PureSim, []string{"puresim/bad", "puresim/good"}},
 		{RegisterInit, []string{"registerinit/bad", "registerinit/good"}},
+		{CtxFlow, []string{"ctxflow/bad", "ctxflow/good"}},
+		{GoLeak, []string{"goleak/bad", "goleak/good"}},
+		{LockHeld, []string{"lockheld/bad", "lockheld/good"}},
 	}
 	for _, tc := range cases {
 		for _, dir := range tc.dirs {

@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak demands a provable exit path for every goroutine the module
+// spawns — the static twin of internal/testutil's runtime leak checker,
+// and the analyzer behind the streaming layer's "no goroutine leaks
+// however a stream ends" promise. For each go statement it resolves the
+// goroutine body (function literals directly; named functions through the
+// call graph) and flags the blocking constructs that can pin a goroutine
+// forever:
+//
+//   - a channel send outside a select, or in a select with no receive or
+//     default arm — the classic streaming leak when the consumer stops
+//     reading and nothing cancels the producer;
+//   - a bare receive from a channel that is neither a Done() channel nor
+//     closed by the spawning function;
+//   - ranging over a channel the spawning function never closes;
+//   - an unconditional for loop with no return or break;
+//   - waiting on a WaitGroup the spawning function never Adds to;
+//   - a dynamic spawn target the call graph cannot resolve to a body.
+//
+// Goroutines that do bounded work and return (WaitGroup-joined workers)
+// pass because they contain none of the above.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "every go statement's goroutine must have a provable exit path",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if gs, okGo := n.(*ast.GoStmt); okGo {
+					checkGoStmt(pass, fd.Body, gs)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkGoStmt resolves one go statement's body and scans it for leak
+// hazards. The spawner body provides the close/Add context: a range over
+// ch is fine when the spawner closes ch, a Wait is fine when the spawner
+// Adds.
+func checkGoStmt(pass *Pass, spawnerBody *ast.BlockStmt, gs *ast.GoStmt) {
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		tg := pass.Graph.ResolveCall(pass.TypesInfo, gs.Call)
+		if tg.Kind == CallStatic && len(tg.IDs) == 1 {
+			if node := pass.Graph.Nodes[tg.IDs[0]]; node != nil {
+				body = node.Decl.Body
+			}
+		}
+	}
+	if body == nil {
+		pass.Reportf(gs.Pos(), "cannot prove this goroutine exits: dynamic spawn target (spawn a function literal with an explicit exit path, or annotate //mithril:allow goleak)")
+		return
+	}
+	scanGoroutineBody(pass, spawnerBody, body)
+}
+
+// scanGoroutineBody walks one goroutine body (skipping nested function
+// literals and nested go statements, which are analyzed at their own
+// sites) and reports leak hazards.
+func scanGoroutineBody(pass *Pass, spawnerBody *ast.BlockStmt, body *ast.BlockStmt) {
+	closed := closedChans(spawnerBody)
+	added := waitGroupAdds(spawnerBody)
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			checkGoroutineSelect(pass, nn, walk)
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(nn.Pos(), "goroutine blocks on a channel send with no cancellation arm (select on the send with a ctx.Done()/done case)")
+		case *ast.UnaryExpr:
+			if nn.Op == token.ARROW && !isDoneCall(nn.X) && !closed[chanKey(nn.X)] {
+				pass.Reportf(nn.Pos(), "goroutine blocks on a channel receive the spawner can never satisfy (receive from a Done() channel, or close the channel in the spawner)")
+			}
+		case *ast.RangeStmt:
+			if isChanExpr(pass.TypesInfo, nn.X) && !closed[chanKey(nn.X)] {
+				pass.Reportf(nn.Pos(), "goroutine ranges over a channel the spawner never closes")
+			}
+		case *ast.ForStmt:
+			if nn.Cond == nil && !hasLoopExit(nn.Body) {
+				pass.Reportf(nn.Pos(), "goroutine loops forever with no exit path (no return or break reachable in the loop body)")
+			}
+		case *ast.CallExpr:
+			if recv, isWait := syncWaitCall(pass.TypesInfo, nn); isWait && !added[recv] {
+				pass.Reportf(nn.Pos(), "goroutine waits on a WaitGroup the spawner never Adds to (Wait belongs in the spawner, after wg.Add)")
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// checkGoroutineSelect scans a select inside a goroutine: its sends are
+// fine only when the select also has a receive or default arm to escape
+// through; case bodies are scanned recursively.
+func checkGoroutineSelect(pass *Pass, sel *ast.SelectStmt, walk func(ast.Node) bool) {
+	escape := false
+	for _, clause := range sel.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		switch comm := cc.Comm.(type) {
+		case nil: // default
+			escape = true
+		case *ast.ExprStmt, *ast.AssignStmt:
+			escape = true // receive arm
+		case *ast.SendStmt:
+			_ = comm
+		}
+	}
+	if !escape {
+		for _, clause := range sel.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				if send, isSend := cc.Comm.(*ast.SendStmt); isSend {
+					pass.Reportf(send.Pos(), "goroutine blocks on a channel send with no cancellation arm (add a ctx.Done()/done receive case to the select)")
+				}
+			}
+		}
+	}
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok {
+			for _, stmt := range cc.Body {
+				ast.Inspect(stmt, walk)
+			}
+		}
+	}
+}
+
+// closedChans collects the render of every close(ch) argument in the
+// spawner body (including closes performed by the goroutines it spawns —
+// a sibling goroutine closing the channel is an exit path too).
+func closedChans(body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, okID := ast.Unparen(call.Fun).(*ast.Ident); okID && id.Name == "close" && len(call.Args) == 1 {
+			out[chanKey(call.Args[0])] = true
+		}
+		return true
+	})
+	return out
+}
+
+// waitGroupAdds collects the receiver render of every X.Add(...) call in
+// the spawner body.
+func waitGroupAdds(body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); okSel && sel.Sel.Name == "Add" {
+			out[chanKey(sel.X)] = true
+		}
+		return true
+	})
+	return out
+}
+
+// chanKey renders a channel (or receiver) expression for matching between
+// goroutine and spawner bodies.
+func chanKey(expr ast.Expr) string {
+	return types.ExprString(ast.Unparen(expr))
+}
+
+// isDoneCall reports whether expr is a X.Done() call — the context (and
+// convention-following custom) cancellation channel.
+func isDoneCall(expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Done"
+}
+
+// hasLoopExit reports whether a loop body contains a return or break
+// (outside nested loops and function literals, where they would not exit
+// this loop).
+func hasLoopExit(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch nn := n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+			return false
+		case *ast.BranchStmt:
+			if nn.Tok == token.BREAK {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// syncWaitCall matches X.Wait() where X is a sync.WaitGroup or sync.Cond,
+// returning the rendered receiver.
+func syncWaitCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	return chanKey(sel.X), true
+}

@@ -150,15 +150,16 @@ func (w *hotpathWalker) checkCall(call *ast.CallExpr) bool {
 		}
 	}
 
-	callee := staticCallee(w.pass.TypesInfo, call)
-	if callee != nil {
-		id := TypesFuncID(callee)
+	// Resolution goes through the shared call graph so every suite uses
+	// one engine: only exactly resolved callees are checked here —
+	// interface and function-value dispatch (CallIface/CallFuncValue) is
+	// checked at the concrete implementations instead.
+	tg := w.pass.Graph.ResolveCall(w.pass.TypesInfo, call)
+	if tg.Kind == CallStatic {
+		id := tg.IDs[0]
 		switch {
-		case id == "":
-			// Interface method: dynamic dispatch, checked at its
-			// concrete implementations.
 		case w.pass.Index.Hotpath[id]:
-		case callee.Pkg() != nil && hotpathAllowedPkgs[callee.Pkg().Path()]:
+		case tg.Static.Pkg() != nil && hotpathAllowedPkgs[tg.Static.Pkg().Path()]:
 		default:
 			w.pass.Reportf(call.Pos(), "call to non-hotpath function %s (annotate it //mithril:hotpath or whitelist the line)", id)
 		}

@@ -12,6 +12,13 @@
 // by `go list -export`), so the linter needs no module dependencies and
 // runs in the same offline environments the simulator does.
 //
+// Analysis is interprocedural: RunAnalyzers builds a module-wide call
+// graph once (static calls exact; interface calls over-approximated by
+// method-set matching; function-value calls by signature matching) and
+// a may-block fixpoint over it, shared by every analyzer through
+// Pass.Graph — the foundation under ctxflow, goleak, and lockheld, and
+// the call-resolution engine behind hotpathalloc's closure rule.
+//
 // Two source annotations steer the analyzers:
 //
 //	//mithril:hotpath
@@ -61,6 +68,7 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Index     *Index
+	Graph     *CallGraph
 
 	diags []Diagnostic
 }
@@ -228,6 +236,7 @@ func (s suppressions) allows(pos token.Position, analyzer string) bool {
 // diagnostics, and returns the surviving findings sorted by position.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	index := BuildIndex(pkgs)
+	graph := BuildCallGraph(pkgs)
 	var findings []Finding
 	for _, pkg := range pkgs {
 		if pkg.Types == nil {
@@ -242,6 +251,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
 				Index:     index,
+				Graph:     graph,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)

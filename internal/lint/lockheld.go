@@ -1,0 +1,414 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockHeld enforces the repo's lock discipline interprocedurally: a
+// sync.Mutex/RWMutex critical section must be short, straight-line
+// compute — never a point where the goroutine can block with the lock
+// held. Using the call graph's may-block fixpoint (see callgraph.go), it
+// flags, while any lock is held:
+//
+//   - channel sends, receives, selects, and ranges over channels;
+//   - calls to functions that may block — transitively: a callee that
+//     sends, receives, selects, Waits, sleeps, performs I/O, or is a
+//     simulator entry point (sim.Run*) poisons every caller;
+//   - calls through function values with no resolvable non-blocking
+//     target (a hook invoked under a lock cannot be proven not to block);
+//
+// and it checks release discipline: every acquired lock must be released
+// by a deferred unlock or provably unlocked on every path — returning
+// (or falling off the end of the function) with a lock held is flagged.
+//
+// Critical sections that invoke a caller-supplied hook by documented
+// contract (for example expspec's serialized Progress hook) carry an
+// explained //mithril:allow lockheld.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "no blocking operation reachable while a mutex is held; unlocks deferred or paired on every path",
+	Run:  runLockHeld,
+}
+
+func runLockHeld(pass *Pass) error {
+	w := &lockWalker{pass: pass}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				w.queue = append(w.queue, fd.Body)
+			}
+		}
+	}
+	// Function literals found during the walk append to the queue: each
+	// closure is its own lock scope (it runs on whatever goroutine invokes
+	// it, with no locks provably held at entry).
+	for len(w.queue) > 0 {
+		body := w.queue[0]
+		w.queue = w.queue[1:]
+		held := heldMap{}
+		if terminated := w.block(body.List, held); !terminated {
+			w.reportLeftHeld(held)
+		}
+	}
+	return nil
+}
+
+// A heldLock records one acquired lock: where, and whether its release is
+// already deferred.
+type heldLock struct {
+	pos      token.Pos
+	name     string
+	deferred bool
+}
+
+// heldMap is the forward dataflow state: lock key -> acquisition record.
+type heldMap map[string]heldLock
+
+func (h heldMap) clone() heldMap {
+	out := make(heldMap, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// undeferred returns the held locks whose release is not deferred,
+// sorted by name for deterministic reports.
+func (h heldMap) undeferred() []heldLock {
+	var out []heldLock
+	for _, l := range h {
+		if !l.deferred {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// names renders the held set for diagnostics.
+func (h heldMap) names() string {
+	keys := make([]string, 0, len(h))
+	for _, l := range h {
+		keys = append(keys, l.name)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+type lockWalker struct {
+	pass  *Pass
+	queue []*ast.BlockStmt
+}
+
+// block walks a statement list, threading the held-lock state through,
+// and reports whether control cannot fall off the end (return/branch on
+// every path).
+func (w *lockWalker) block(stmts []ast.Stmt, held heldMap) bool {
+	for _, s := range stmts {
+		if w.stmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt processes one statement against the current held state, returning
+// true when the statement terminates the path.
+func (w *lockWalker) stmt(s ast.Stmt, held heldMap) bool {
+	switch nn := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(nn.X).(*ast.CallExpr); ok {
+			if key, op, isMutex := w.mutexOp(call); isMutex {
+				w.applyMutexOp(call, key, op, false, held)
+				return false
+			}
+		}
+		w.exprHazards(nn.X, held)
+	case *ast.DeferStmt:
+		if key, op, isMutex := w.mutexOp(nn.Call); isMutex {
+			w.applyMutexOp(nn.Call, key, op, true, held)
+			return false
+		}
+		// Other deferred calls run at return time, when deferred unlocks
+		// may already have released the lock (LIFO); their hazards are
+		// not attributed to the current critical section.
+		w.queueFuncLits(nn.Call)
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			w.pass.Reportf(nn.Pos(), "channel send while holding %s", held.names())
+		}
+		w.exprHazards(nn.Chan, held)
+		w.exprHazards(nn.Value, held)
+	case *ast.ReturnStmt:
+		for _, res := range nn.Results {
+			w.exprHazards(res, held)
+		}
+		for _, l := range held.undeferred() {
+			w.pass.Reportf(nn.Pos(), "returns while %s is held (defer the unlock, or unlock on every path)", l.name)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return w.block(nn.List, held)
+	case *ast.IfStmt:
+		if nn.Init != nil {
+			w.stmt(nn.Init, held)
+		}
+		w.exprHazards(nn.Cond, held)
+		bodyHeld := held.clone()
+		bodyTerm := w.block(nn.Body.List, bodyHeld)
+		elseHeld := held.clone()
+		elseTerm := false
+		if nn.Else != nil {
+			elseTerm = w.stmt(nn.Else, elseHeld)
+		}
+		return mergeBranches(held, bodyHeld, bodyTerm, elseHeld, elseTerm)
+	case *ast.ForStmt:
+		if nn.Init != nil {
+			w.stmt(nn.Init, held)
+		}
+		if nn.Cond != nil {
+			w.exprHazards(nn.Cond, held)
+		}
+		w.block(nn.Body.List, held.clone())
+	case *ast.RangeStmt:
+		if isChanExpr(w.pass.TypesInfo, nn.X) && len(held) > 0 {
+			w.pass.Reportf(nn.Pos(), "ranges over a channel while holding %s", held.names())
+		}
+		w.exprHazards(nn.X, held)
+		w.block(nn.Body.List, held.clone())
+	case *ast.SelectStmt:
+		if len(held) > 0 {
+			w.pass.Reportf(nn.Pos(), "select while holding %s", held.names())
+		}
+		for _, clause := range nn.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				w.block(cc.Body, held.clone())
+			}
+		}
+	case *ast.SwitchStmt:
+		if nn.Init != nil {
+			w.stmt(nn.Init, held)
+		}
+		if nn.Tag != nil {
+			w.exprHazards(nn.Tag, held)
+		}
+		for _, clause := range nn.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				w.block(cc.Body, held.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, clause := range nn.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				w.block(cc.Body, held.clone())
+			}
+		}
+	case *ast.GoStmt:
+		// The spawn itself does not block; the goroutine body is its own
+		// lock scope (and goleak's concern).
+		w.queueFuncLits(nn.Call)
+	case *ast.LabeledStmt:
+		return w.stmt(nn.Stmt, held)
+	default:
+		if s != nil {
+			w.exprHazards(s, held)
+		}
+	}
+	return false
+}
+
+// mergeBranches folds two branch states back into held (in place).
+// A terminated branch contributes nothing; a lock surviving only one
+// branch survives the merge (over-approximation: held unless provably
+// released), and counts as deferred only if deferred wherever held.
+func mergeBranches(held, a heldMap, aTerm bool, b heldMap, bTerm bool) bool {
+	if aTerm && bTerm {
+		return true
+	}
+	for k := range held {
+		delete(held, k)
+	}
+	if aTerm {
+		a = nil
+	}
+	if bTerm {
+		b = nil
+	}
+	for k, v := range a {
+		if other, inB := b[k]; inB {
+			v.deferred = v.deferred && other.deferred
+		} else if b != nil {
+			v.deferred = false
+		}
+		held[k] = v
+	}
+	for k, v := range b {
+		if _, done := held[k]; !done {
+			if a != nil {
+				v.deferred = false
+			}
+			held[k] = v
+		}
+	}
+	return false
+}
+
+// exprHazards scans an expression tree (or non-lock statement) for
+// operations that block while locks are held. Function literals are
+// queued as independent lock scopes rather than scanned inline.
+func (w *lockWalker) exprHazards(n ast.Node, held heldMap) {
+	ast.Inspect(n, func(child ast.Node) bool {
+		switch nn := child.(type) {
+		case *ast.FuncLit:
+			w.queue = append(w.queue, nn.Body)
+			return false
+		case *ast.UnaryExpr:
+			if nn.Op == token.ARROW && len(held) > 0 {
+				w.pass.Reportf(nn.Pos(), "channel receive while holding %s", held.names())
+			}
+		case *ast.CallExpr:
+			w.callHazard(nn, held)
+		}
+		return true
+	})
+}
+
+// callHazard classifies one call made while locks are held, using the
+// shared call graph: static and interface-resolved callees consult the
+// may-block fixpoint; unresolvable function values are conservatively
+// flagged.
+func (w *lockWalker) callHazard(call *ast.CallExpr, held heldMap) {
+	if len(held) == 0 {
+		return
+	}
+	if _, _, isMutex := w.mutexOp(call); isMutex {
+		return // nested lock operations are lock-ordering, not blocking
+	}
+	tg := w.pass.Graph.ResolveCall(w.pass.TypesInfo, call)
+	switch tg.Kind {
+	case CallUnknown:
+		return
+	case CallStatic:
+		id := tg.IDs[0]
+		if reason := w.pass.Graph.BlockReason(id); reason != "" {
+			w.pass.Reportf(call.Pos(), "call to %s while holding %s: it %s", id, held.names(), reason)
+			return
+		}
+		if reason := externalBlockReason(tg.Static); reason != "" {
+			w.pass.Reportf(call.Pos(), "call to %s.%s while holding %s: it %s", tg.Static.Pkg().Path(), tg.Static.Name(), held.names(), reason)
+		}
+	case CallIface:
+		for _, id := range tg.IDs {
+			if reason := w.pass.Graph.BlockReason(id); reason != "" {
+				w.pass.Reportf(call.Pos(), "interface call while holding %s may reach %s, which %s", held.names(), id, reason)
+				return
+			}
+		}
+	case CallFuncValue:
+		// A function value can hold a closure no candidate set covers, so
+		// signature matching can only strengthen the message, never prove
+		// the call safe: every func-value call under a lock is flagged.
+		for _, id := range tg.IDs {
+			if reason := w.pass.Graph.BlockReason(id); reason != "" {
+				w.pass.Reportf(call.Pos(), "function-value call while holding %s may reach %s, which %s", held.names(), id, reason)
+				return
+			}
+		}
+		w.pass.Reportf(call.Pos(), "call through a function value while holding %s (cannot prove it does not block)", held.names())
+	}
+}
+
+// queueFuncLits queues every function literal under n as an independent
+// lock scope.
+func (w *lockWalker) queueFuncLits(n ast.Node) {
+	ast.Inspect(n, func(child ast.Node) bool {
+		if lit, ok := child.(*ast.FuncLit); ok {
+			w.queue = append(w.queue, lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// reportLeftHeld flags locks still held (and not deferred) when control
+// falls off the end of a function.
+func (w *lockWalker) reportLeftHeld(held heldMap) {
+	for _, l := range held.undeferred() {
+		w.pass.Reportf(l.pos, "%s is locked but not released on every path (defer the unlock)", l.name)
+	}
+}
+
+// applyMutexOp updates the held state for one Lock/Unlock/RLock/RUnlock
+// call. A deferred unlock marks its lock released-at-return; a deferred
+// acquire is nonsensical and treated as an acquire.
+func (w *lockWalker) applyMutexOp(call *ast.CallExpr, key, op string, deferred bool, held heldMap) {
+	switch op {
+	case "Lock", "RLock":
+		name := key
+		if strings.HasSuffix(key, readSuffix) {
+			name = strings.TrimSuffix(key, readSuffix) + " (read)"
+		}
+		held[key] = heldLock{pos: call.Pos(), name: name}
+	case "Unlock", "RUnlock":
+		if l, ok := held[key]; ok {
+			if deferred {
+				l.deferred = true
+				held[key] = l
+			} else {
+				delete(held, key)
+			}
+		}
+	}
+}
+
+// readSuffix distinguishes an RLock from a write Lock on the same mutex
+// in the held-state key space.
+const readSuffix = "\x00r"
+
+// mutexOp matches X.Lock/Unlock/RLock/RUnlock() where X is a
+// sync.Mutex/RWMutex (directly or promoted through embedding), returning
+// the held-state key and operation name.
+func (w *lockWalker) mutexOp(call *ast.CallExpr) (key, op string, ok bool) {
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, okFn := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !okFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	sig, okSig := fn.Type().(*types.Signature)
+	if !okSig || sig.Recv() == nil {
+		return "", "", false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, okNamed := t.(*types.Named)
+	if !okNamed {
+		return "", "", false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+	default:
+		return "", "", false
+	}
+	key = types.ExprString(ast.Unparen(sel.X))
+	if name == "RLock" || name == "RUnlock" {
+		key += readSuffix
+	}
+	return key, name, true
+}

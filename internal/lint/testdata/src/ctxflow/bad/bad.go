@@ -1,0 +1,38 @@
+// Package bad severs cancellation chains in every way ctxflow flags.
+package bad
+
+import "context"
+
+// Server retains a call-scoped context beyond the call.
+type Server struct {
+	ctx context.Context // want "stored in a struct field"
+}
+
+func step(ctx context.Context) error { return ctx.Err() }
+
+// process receives a ctx but mints a fresh root for its callee.
+func process(ctx context.Context, items []int) error {
+	for range items {
+		if err := step(context.Background()); err != nil { // want "severs the caller's cancellation chain"
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// helper has no ctx in scope: outside main, roots are banned outright.
+func helper() error {
+	return step(context.TODO()) // want "context.TODO outside package main"
+}
+
+// inClosure severs the chain from inside a closure that captures ctx.
+func inClosure(ctx context.Context) func() error {
+	return func() error {
+		return step(context.Background()) // want "severs the caller's cancellation chain"
+	}
+}
+
+// nilCtx passes nil where the callee expects a context.
+func nilCtx() error {
+	return step(nil) // want "nil Context passed to step"
+}

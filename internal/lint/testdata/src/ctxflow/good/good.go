@@ -1,0 +1,38 @@
+// Package good threads contexts the way ctxflow demands.
+package good
+
+import (
+	"context"
+	"time"
+)
+
+func step(ctx context.Context) error { return ctx.Err() }
+
+// process threads the caller's ctx to every ctx-accepting callee.
+func process(ctx context.Context, items []int) error {
+	for range items {
+		if err := step(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// derived contexts keep the chain intact.
+func bounded(ctx context.Context) error {
+	tctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return step(tctx)
+}
+
+// inClosure threads the captured ctx.
+func inClosure(ctx context.Context) func() error {
+	return func() error { return step(ctx) }
+}
+
+// shim is a documented deprecated entry point: the fresh root carries an
+// explained allow.
+func shim() error {
+	//mithril:allow ctxflow deprecated ctx-less shim for the fixture
+	return step(context.Background())
+}

@@ -1,0 +1,64 @@
+// Package bad leaks goroutines in every way goleak flags.
+package bad
+
+import "sync"
+
+// streamLeak is the classic streaming leak: if the consumer stops
+// reading, the producer blocks on the send forever.
+func streamLeak(n int) <-chan int {
+	ch := make(chan int)
+	go func() {
+		for i := 0; i < n; i++ {
+			ch <- i // want "channel send with no cancellation arm"
+		}
+		close(ch)
+	}()
+	return ch
+}
+
+// sendOnlySelect has no receive or default arm to escape through.
+func sendOnlySelect(ch chan int) {
+	go func() {
+		select {
+		case ch <- 1: // want "no cancellation arm"
+		}
+	}()
+}
+
+// spin loops forever with no way out.
+func spin() {
+	go func() {
+		for { // want "no exit path"
+			_ = 1
+		}
+	}()
+}
+
+// recvForever receives from a channel nobody ever closes or sends on.
+func recvForever(stop chan struct{}) {
+	go func() {
+		<-stop // want "channel receive the spawner can never satisfy"
+	}()
+}
+
+// rangeNoClose ranges over a channel the spawner never closes.
+func rangeNoClose(ch chan int) {
+	go func() {
+		for range ch { // want "never closes"
+		}
+	}()
+}
+
+// waitNoAdd waits on a WaitGroup the spawner never Adds to.
+func waitNoAdd(wg *sync.WaitGroup) {
+	go func() {
+		wg.Wait() // want "never Adds"
+	}()
+}
+
+var hook func()
+
+// dynamic spawns a target the call graph cannot resolve to a body.
+func dynamic() {
+	go hook() // want "dynamic spawn target"
+}

@@ -1,0 +1,81 @@
+// Package good spawns goroutines with provable exit paths.
+package good
+
+import (
+	"context"
+	"sync"
+)
+
+// producer sends under a select with a cancellation arm: the mithril
+// streaming-worker shape.
+func producer(ctx context.Context, out chan<- int) {
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case out <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// joined runs bounded WaitGroup-joined workers: the spawner Adds, the
+// goroutines do finite work and return.
+func joined(items []int) []int {
+	var wg sync.WaitGroup
+	results := make([]int, len(items))
+	for i := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = items[i] * 2
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// waiter joins the WaitGroup on a dedicated goroutine so the spawner can
+// select on done: the mithril stream-teardown shape.
+func waiter(n int) {
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(n)
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	for i := 0; i < n; i++ {
+		wg.Done()
+	}
+	<-done
+}
+
+// drain ranges over a channel the spawner closes.
+func drain(in chan int) {
+	done := make(chan struct{})
+	go func() {
+		for range in {
+		}
+		close(done)
+	}()
+	close(in)
+	<-done
+}
+
+// shutdown blocks only on the context's Done channel: the mithril serve
+// shutdown shape.
+func shutdown(ctx context.Context, cleanup func()) {
+	go func() {
+		<-ctx.Done()
+		cleanup()
+	}()
+}
+
+// deliberate documents an accepted leak with an explained allow.
+func deliberate(ch chan int) {
+	go func() {
+		ch <- 1 //mithril:allow goleak fixture demonstrates suppression
+	}()
+}

@@ -1,0 +1,74 @@
+// Package bad blocks while holding locks in every way lockheld flags.
+package bad
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+type Queue struct {
+	mu    sync.Mutex
+	items []int
+	ch    chan int
+}
+
+// Push sends on a channel inside the critical section.
+func (q *Queue) Push(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.ch <- v // want "channel send while holding"
+}
+
+// Pop returns on its empty path without releasing the lock.
+func (q *Queue) Pop() (int, bool) {
+	q.mu.Lock()
+	if len(q.items) == 0 {
+		return 0, false // want "returns while q.mu is held"
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	q.mu.Unlock()
+	return v, true
+}
+
+// Dump performs I/O under the lock.
+func (q *Queue) Dump() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	fmt.Fprintln(os.Stderr, q.items) // want "performs I/O"
+}
+
+// drain blocks on a receive; Flush reaches it with the lock held — the
+// interprocedural case the call graph exists for.
+func (q *Queue) drain() {
+	<-q.ch
+}
+
+func (q *Queue) Flush() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.drain() // want "performs a channel receive"
+}
+
+var hook func(string) error
+
+// Notify invokes an arbitrary function value under the lock.
+func (q *Queue) Notify() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	hook("notify") // want "cannot prove it does not block"
+}
+
+// WaitUnderLock joins a WaitGroup while holding the lock.
+func (q *Queue) WaitUnderLock(wg *sync.WaitGroup) {
+	q.mu.Lock()
+	wg.Wait() // want "waits"
+	q.mu.Unlock()
+}
+
+// Forgot falls off the end of the function with the lock held.
+func (q *Queue) Forgot(v int) {
+	q.mu.Lock() // want "not released on every path"
+	q.items = append(q.items, v)
+}

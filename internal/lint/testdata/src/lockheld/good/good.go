@@ -1,0 +1,72 @@
+// Package good keeps critical sections short, straight-line compute.
+package good
+
+import "sync"
+
+type Counter struct {
+	mu sync.RWMutex
+	n  map[string]int
+}
+
+// Inc holds the write lock for a map update only, release deferred.
+func (c *Counter) Inc(k string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n[k]++
+}
+
+// Get reads under the read lock.
+func (c *Counter) Get(k string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n[k]
+}
+
+// Swap pairs an explicit unlock on the single path.
+func (c *Counter) Swap(k string, v int) int {
+	c.mu.Lock()
+	old := c.n[k]
+	c.n[k] = v
+	c.mu.Unlock()
+	return old
+}
+
+// TryInc unlocks on both branches — the paired-on-every-path discipline.
+func (c *Counter) TryInc(k string, limit int) bool {
+	c.mu.Lock()
+	if c.n[k] >= limit {
+		c.mu.Unlock()
+		return false
+	}
+	c.n[k]++
+	c.mu.Unlock()
+	return true
+}
+
+// Snapshot copies under the lock and sends after releasing it: the
+// registry Build/Names shape.
+func (c *Counter) Snapshot(out chan<- map[string]int) {
+	c.mu.RLock()
+	cp := make(map[string]int, len(c.n))
+	for k, v := range c.n {
+		cp[k] = v
+	}
+	c.mu.RUnlock()
+	out <- cp
+}
+
+type Hooked struct {
+	mu   sync.Mutex
+	hook func(int)
+	n    int
+}
+
+// Bump invokes a hook the documented contract forbids from blocking —
+// the expspec serialized-Progress shape, carried by an explained allow.
+func (h *Hooked) Bump() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.n++
+	//mithril:allow lockheld serialized hook; contract forbids blocking
+	h.hook(h.n)
+}

@@ -152,7 +152,12 @@ func (s genSource) Next() cpu.Op {
 
 // Run executes one simulation to completion (or MaxTime) and returns the
 // results.
-func Run(cfg Config) (Result, error) { return RunContext(context.Background(), cfg) }
+//
+// Deprecated: use RunContext, which takes a context for cancellation.
+func Run(cfg Config) (Result, error) {
+	//mithril:allow ctxflow deprecated ctx-less shim; RunContext is the ctx path
+	return RunContext(context.Background(), cfg)
+}
 
 // cancelCheckInterval is how many main-loop iterations pass between
 // cooperative ctx polls: frequent enough that cancellation lands within
@@ -315,7 +320,11 @@ type Comparison struct {
 // RunComparison executes the workload twice — unprotected baseline and with
 // the scheme — using identical generator state, and reports normalized
 // metrics.
+//
+// Deprecated: use RunComparisonContext, which takes a context for
+// cancellation.
 func RunComparison(cfg Config, workload trace.Workload, scheme mc.Scheme) (Comparison, error) {
+	//mithril:allow ctxflow deprecated ctx-less shim; RunComparisonContext is the ctx path
 	return RunComparisonContext(context.Background(), cfg, workload, scheme)
 }
 

@@ -3,31 +3,16 @@ package sweep
 import (
 	"context"
 	"errors"
-	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
-)
 
-// settleGoroutines polls until the goroutine count returns to (or below)
-// the baseline, failing the test if it never does — the cheap stand-in for
-// goleak this module's no-new-dependencies rule allows.
-func settleGoroutines(t *testing.T, baseline int) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		runtime.Gosched()
-		if runtime.NumGoroutine() <= baseline {
-			return
-		}
-		time.Sleep(time.Millisecond)
-	}
-	t.Fatalf("goroutines never settled: %d > baseline %d", runtime.NumGoroutine(), baseline)
-}
+	"mithril/internal/testutil"
+)
 
 func TestRunContextCancelStopsWithinOneCell(t *testing.T) {
 	for _, jobs := range []int{1, 4} {
-		baseline := runtime.NumGoroutine()
+		check := testutil.CheckGoroutines(t)
 		ctx, cancel := context.WithCancel(context.Background())
 		var started atomic.Int64
 		release := make(chan struct{})
@@ -47,7 +32,7 @@ func TestRunContextCancelStopsWithinOneCell(t *testing.T) {
 		if got := started.Load(); got > int64(jobs) {
 			t.Errorf("jobs=%d: %d cells started after cancel", jobs, got)
 		}
-		settleGoroutines(t, baseline)
+		check()
 	}
 }
 
@@ -119,6 +104,7 @@ func TestRunContextRealErrorNotMaskedByInducedCancel(t *testing.T) {
 }
 
 func TestStreamContextDeliversAll(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	for _, jobs := range []int{1, 4} {
 		got := map[int]int{}
 		for iv, err := range StreamContext(context.Background(), jobs, 50, func(_ context.Context, i int) (int, error) {
@@ -142,7 +128,7 @@ func TestStreamContextDeliversAll(t *testing.T) {
 
 func TestStreamContextConsumerBreakStopsWorkers(t *testing.T) {
 	for _, jobs := range []int{1, 4} {
-		baseline := runtime.NumGoroutine()
+		check := testutil.CheckGoroutines(t)
 		var started atomic.Int64
 		seen := 0
 		for _, err := range StreamContext(context.Background(), jobs, 1000, func(_ context.Context, i int) (int, error) {
@@ -157,7 +143,7 @@ func TestStreamContextConsumerBreakStopsWorkers(t *testing.T) {
 				break
 			}
 		}
-		settleGoroutines(t, baseline)
+		check()
 		// The claim counter may run slightly ahead of deliveries (one
 		// in-flight cell per worker), but breaking must stop the sweep
 		// long before the 1000-cell grid drains.
@@ -170,7 +156,7 @@ func TestStreamContextConsumerBreakStopsWorkers(t *testing.T) {
 func TestStreamContextErrorTerminates(t *testing.T) {
 	boom := errors.New("boom")
 	for _, jobs := range []int{1, 4} {
-		baseline := runtime.NumGoroutine()
+		check := testutil.CheckGoroutines(t)
 		var sawErr error
 		rows := 0
 		for _, err := range StreamContext(context.Background(), jobs, 100, func(_ context.Context, i int) (int, error) {
@@ -191,13 +177,13 @@ func TestStreamContextErrorTerminates(t *testing.T) {
 		if rows >= 100 {
 			t.Fatalf("jobs=%d: full grid delivered despite error", jobs)
 		}
-		settleGoroutines(t, baseline)
+		check()
 	}
 }
 
 func TestStreamContextParentCancel(t *testing.T) {
 	for _, jobs := range []int{1, 4} {
-		baseline := runtime.NumGoroutine()
+		check := testutil.CheckGoroutines(t)
 		ctx, cancel := context.WithCancel(context.Background())
 		defer cancel()
 		var sawErr error
@@ -217,11 +203,12 @@ func TestStreamContextParentCancel(t *testing.T) {
 		if !errors.Is(sawErr, context.Canceled) {
 			t.Fatalf("jobs=%d: err = %v, want context.Canceled (after %d rows)", jobs, sawErr, rows)
 		}
-		settleGoroutines(t, baseline)
+		check()
 	}
 }
 
 func TestStreamContextPanicReachesConsumer(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	for _, jobs := range []int{1, 4} {
 		func() {
 			defer func() {

@@ -35,6 +35,7 @@ func DefaultJobs() int { return runtime.GOMAXPROCS(0) }
 // started are cancelled, and in-flight cells finish (their results are
 // discarded).
 func Run[T any](jobs, n int, fn func(i int) (T, error)) ([]T, error) {
+	//mithril:allow ctxflow deprecated ctx-less shim; RunContext is the ctx path
 	return RunContext(context.Background(), jobs, n,
 		func(_ context.Context, i int) (T, error) { return fn(i) })
 }

@@ -1,0 +1,82 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseGoroutineID(t *testing.T) {
+	cases := []struct {
+		stack string
+		id    int64
+		ok    bool
+	}{
+		{"goroutine 1 [running]:\nmain.main()", 1, true},
+		{"goroutine 4711 [chan receive]:", 4711, true},
+		{"", 0, false},
+		{"goroutine x [running]:", 0, false},
+		{"not a header", 0, false},
+	}
+	for _, tc := range cases {
+		id, ok := parseGoroutineID(tc.stack)
+		if id != tc.id || ok != tc.ok {
+			t.Errorf("parseGoroutineID(%q) = %d, %v; want %d, %v", tc.stack, id, ok, tc.id, tc.ok)
+		}
+	}
+}
+
+func TestGoroutineStacksSeesSelf(t *testing.T) {
+	stacks := goroutineStacks()
+	if len(stacks) == 0 {
+		t.Fatal("no goroutines captured")
+	}
+	found := false
+	for _, s := range stacks {
+		if strings.Contains(s, "goroutineStacks") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("capturing goroutine not present in its own snapshot")
+	}
+}
+
+// TestLeakedSinceDetectsAndClears drives the diff directly: a goroutine
+// parked on a channel shows up as leaked, and disappears once released.
+func TestLeakedSinceDetectsAndClears(t *testing.T) {
+	before := goroutineStacks()
+	release := make(chan struct{})
+	parked := make(chan struct{})
+	go func() {
+		close(parked)
+		<-release
+	}()
+	<-parked
+	deadline := time.Now().Add(leakRetryWindow)
+	for len(leakedSince(before)) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("parked goroutine never reported as leaked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	for time.Now().Before(deadline) {
+		if len(leakedSince(before)) == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("released goroutine still reported as leaked")
+}
+
+// TestCheckGoroutinesCleanTest is the happy path: a test whose goroutines
+// all exit passes the deferred check.
+func TestCheckGoroutinesCleanTest(t *testing.T) {
+	defer CheckGoroutines(t)()
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}

@@ -117,6 +117,7 @@ func SchemeNames() []string { return mitigation.Names() }
 // Deprecated: use Engine.Run, which takes a context for cancellation.
 // This shim runs on a default Engine with context.Background().
 func Run(cfg SimConfig) (SimResult, error) {
+	//mithril:allow ctxflow deprecated ctx-less shim pinned by apicompat; Engine.Run is the ctx path
 	return defaultEngine.Run(context.Background(), cfg)
 }
 
@@ -140,6 +141,7 @@ func RunParallel[T any](jobs, n int, fn func(i int) (T, error)) ([]T, error) {
 // Deprecated: use Engine.Compare, which takes a context for cancellation.
 // This shim runs on a default Engine with context.Background().
 func Compare(cfg SimConfig, w Workload, s Scheme) (Comparison, error) {
+	//mithril:allow ctxflow deprecated ctx-less shim pinned by apicompat; Engine.Compare is the ctx path
 	return defaultEngine.Compare(context.Background(), cfg, w, s)
 }
 
