@@ -403,7 +403,7 @@ func BenchmarkControllerACTPath(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		now := timing.PicoSeconds(i) * p.TCK
 		ctl.Enqueue(&mc.Request{ID: uint64(i), CoreID: i % 8, Addr: r.Uint64() % space, Arrive: now})
-		ctl.Tick(now)
+		ctl.TickDue(now)
 	}
 }
 

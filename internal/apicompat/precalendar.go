@@ -1,0 +1,77 @@
+// This file pins the PRE-CALENDAR simulator surface. PR 8 moved the main
+// loop onto the next-event calendar (Controller.NextDeadline/TickDue,
+// Core.NextWake, sim.Clock) and demoted the tick-driven entry points —
+// Controller.Tick/NextWork/NextRefresh, Core.NextReady, and the ctx-less
+// sim.Run/RunComparison — to deprecated shims. The typed assignments and
+// call shapes below freeze those shims' exact signatures so a later
+// refactor cannot silently change or drop them while the differential-
+// equivalence suite (and any downstream consumer) still depends on them.
+//
+// DO NOT modernize these calls to the calendar API — this file's whole
+// value is that it keeps exercising the old one. It only needs to compile;
+// ExercisePreCalendar is never called in anger.
+//
+//lint:file-ignore SA1019 this file intentionally consumes the deprecated pre-calendar API
+
+package apicompat
+
+import (
+	"fmt"
+
+	"mithril/internal/cpu"
+	"mithril/internal/dram"
+	"mithril/internal/mc"
+	"mithril/internal/sim"
+	"mithril/internal/timing"
+	"mithril/internal/trace"
+)
+
+// fixedSource is the minimal cpu.Source a core needs.
+type fixedSource struct{}
+
+func (fixedSource) Next() cpu.Op { return cpu.Op{Gap: 3, Addr: 0x40} }
+
+// ExercisePreCalendar touches every deprecated tick-loop entry point with
+// the exact call shapes the pre-calendar loop used.
+func ExercisePreCalendar() error {
+	p := timing.DDR5()
+	dev := dram.NewDevice(p, 6250, nil)
+	ctl := mc.NewController(dev, mc.Config{Scheduler: mc.BLISS}, nil)
+
+	// The tick-driven controller trio: advance one instant, ask for the
+	// next matured work item (with the caller-supplied fallback bound the
+	// old loop passed), and the next refresh slot.
+	var (
+		tick        func(timing.PicoSeconds)                    = ctl.Tick
+		nextWork    func(timing.PicoSeconds) timing.PicoSeconds = ctl.NextWork
+		nextRefresh func() timing.PicoSeconds                   = ctl.NextRefresh
+	)
+	tick(0)
+	if w, r := nextWork(p.TCK), nextRefresh(); w < 0 || r < 0 {
+		return fmt.Errorf("pre-calendar controller surface: NextWork=%v NextRefresh=%v", w, r)
+	}
+
+	// The core's self-paced readiness probe (no now argument, unclamped).
+	core := cpu.NewCore(0, cpu.DefaultCoreConfig(), fixedSource{}, cpu.NewLLC(1<<20, 16), 1,
+		func(*mc.Request) bool { return true })
+	var nextReady func() timing.PicoSeconds = core.NextReady
+	_ = nextReady()
+
+	// The ctx-less run shims, with the call shapes the pre-calendar README
+	// documented.
+	cfg := sim.Config{
+		Params:       p,
+		FlipTH:       6250,
+		Scheduler:    mc.BLISS,
+		Policy:       mc.MinimalistOpen,
+		Workload:     trace.MixHigh(1, 1).Fresh(),
+		InstrPerCore: 100,
+	}
+	if _, err := sim.Run(cfg); err != nil {
+		return err
+	}
+	if _, err := sim.RunComparison(cfg, trace.MixHigh(1, 1), mc.NoProtection{}); err != nil {
+		return err
+	}
+	return nil
+}

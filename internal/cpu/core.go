@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"mithril/internal/mc"
 	"mithril/internal/timing"
@@ -71,6 +72,9 @@ type Core struct {
 	pending     *mc.Request // produced but not yet accepted by the MC
 	pendingIdx  int64
 	serialized  bool // next access requires an empty miss window
+	widthShift  uint // log2(Width) when it is a power of two (widthPow2)
+	widthPow2   bool
+	hitPenalty  timing.PicoSeconds // LLCHitCycles × CyclePs, precomputed
 	nextReqID   uint64
 	lastDone    timing.PicoSeconds
 	finished    bool
@@ -90,8 +94,23 @@ func NewCore(id int, cfg CoreConfig, src Source, llc *LLC, target int64, enqueue
 	if target <= 0 {
 		panic(fmt.Sprintf("cpu: target instructions must be positive, got %d", target))
 	}
-	return &Core{id: id, cfg: cfg, src: src, llc: llc, enqueue: enqueue, target: target,
-		nextReqID: uint64(id) << 48}
+	// Request IDs carry the core index in their top 16 bits (consumers
+	// recover the owning core as reqID>>48), so the id must fit.
+	if id < 0 || id >= 1<<16 {
+		panic(fmt.Sprintf("cpu: core id %d outside [0, 65536)", id))
+	}
+	c := &Core{id: id, cfg: cfg, src: src, llc: llc, enqueue: enqueue, target: target,
+		nextReqID:  uint64(id) << 48,
+		hitPenalty: timing.PicoSeconds(cfg.LLCHitCycles) * cfg.CyclePs,
+	}
+	// The per-access cycle count divides by Width; for the usual
+	// power-of-two widths a precomputed shift replaces the hardware divide
+	// (which costs more than the rest of the fetch bookkeeping combined).
+	if w := uint(cfg.Width); w&(w-1) == 0 {
+		c.widthPow2 = true
+		c.widthShift = uint(bits.TrailingZeros(w))
+	}
+	return c
 }
 
 // ID returns the core id.
@@ -141,12 +160,12 @@ func (c *Core) MemStats() (accesses, misses uint64) { return c.memAccesses, c.ll
 //
 //mithril:hotpath
 func (c *Core) Complete(reqID uint64, at timing.PicoSeconds) {
-	for i, m := range c.outstanding {
-		if m.reqID == reqID {
-			c.outstanding = append(c.outstanding[:i], c.outstanding[i+1:]...)
-			if m.req != nil {
-				c.freeReqs = append(c.freeReqs, m.req)
+	for i := range c.outstanding {
+		if c.outstanding[i].reqID == reqID {
+			if req := c.outstanding[i].req; req != nil {
+				c.freeReqs = append(c.freeReqs, req)
 			}
+			c.outstanding = append(c.outstanding[:i], c.outstanding[i+1:]...)
 			if at > c.lastDone {
 				c.lastDone = at
 			}
@@ -156,35 +175,78 @@ func (c *Core) Complete(reqID uint64, at timing.PicoSeconds) {
 	panic(fmt.Sprintf("cpu: completion for unknown request %d on core %d", reqID, c.id))
 }
 
-// maxTime is the sentinel for "waiting on a completion" in NextReady.
-const maxTime = timing.PicoSeconds(1) << 62
-
 // NextReady reports the earliest time this core could take another action
 // on its own, or a far-future sentinel when it is purely completion-driven
-// (MSHRs full, ROB blocked, or serialized behind a miss). The simulator
-// uses it to fast-forward idle stretches.
+// (MSHRs full, ROB blocked, or serialized behind a miss). The legacy tick
+// loop uses it to fast-forward idle stretches.
+//
+// Deprecated: use NextDeadline, which carries the same information under
+// the calendar contract (clamped to now, timing.Never as the sentinel).
 //
 //mithril:hotpath
 func (c *Core) NextReady() timing.PicoSeconds {
+	return c.nextReady()
+}
+
+// nextReady is the raw (unclamped) deadline shared by the deprecated
+// NextReady and the calendar-facing NextDeadline/NextWake.
+//
+//mithril:hotpath
+func (c *Core) nextReady() timing.PicoSeconds {
 	if c.finished {
-		return maxTime
+		return timing.Never
 	}
 	if c.pending != nil {
 		return 0 // needs an enqueue retry as soon as possible
 	}
 	if c.instrIssued >= c.target {
-		return maxTime // draining outstanding misses
+		return timing.Never // draining outstanding misses
 	}
 	if len(c.outstanding) >= c.cfg.MSHRs {
-		return maxTime
+		return timing.Never
 	}
 	if c.serialized && len(c.outstanding) > 0 {
-		return maxTime
+		return timing.Never
 	}
 	if len(c.outstanding) > 0 && c.instrIssued-c.outstanding[0].instrIdx > int64(c.cfg.ROB) {
-		return maxTime
+		return timing.Never
 	}
 	return c.fetchTime
+}
+
+// NextDeadline reports the earliest instant at or after now at which this
+// core can act on its own, or timing.Never while it is purely
+// completion-driven (MSHRs full, ROB blocked, serialized behind a miss, or
+// draining toward its target). The event calendar folds this into its jump
+// computation; a core whose deadline is Never is woken by the completion
+// delivery that unblocks it.
+//
+//mithril:hotpath
+func (c *Core) NextDeadline(now timing.PicoSeconds) timing.PicoSeconds {
+	if t := c.nextReady(); t > now {
+		return t
+	}
+	return now
+}
+
+// NextWake reports the earliest instant at or after now at which Advance
+// would change core state — the calendar's advance gate. It differs from
+// NextDeadline in exactly one case: a core that has issued its full
+// instruction target with no outstanding misses still needs one Advance at
+// its front-end fetch time to latch Finished, but contributes no deadline
+// of its own (the tick loop discovered that transition on whatever
+// iteration came next, and the calendar must not add iterations the tick
+// loop never ran).
+//
+//mithril:hotpath
+func (c *Core) NextWake(now timing.PicoSeconds) timing.PicoSeconds {
+	if !c.finished && c.pending == nil && c.instrIssued >= c.target && len(c.outstanding) == 0 {
+		if c.fetchTime > now {
+			return c.fetchTime
+		}
+		return now
+	}
+	return c.NextDeadline(now)
 }
 
 // Advance lets the core make progress up to time now: it consumes trace
@@ -226,10 +288,16 @@ func (c *Core) Advance(now timing.PicoSeconds) {
 		}
 		c.serialized = op.Serialize
 		c.instrIssued += int64(op.Gap) + 1
-		c.fetchTime += timing.PicoSeconds((op.Gap+c.cfg.Width)/c.cfg.Width) * c.cfg.CyclePs
+		var cycles int
+		if c.widthPow2 {
+			cycles = (op.Gap + c.cfg.Width) >> c.widthShift
+		} else {
+			cycles = (op.Gap + c.cfg.Width) / c.cfg.Width
+		}
+		c.fetchTime += timing.PicoSeconds(cycles) * c.cfg.CyclePs
 		c.memAccesses++
 		if !op.Uncached && c.llc.Access(op.Addr) {
-			c.fetchTime += timing.PicoSeconds(c.cfg.LLCHitCycles) * c.cfg.CyclePs
+			c.fetchTime += c.hitPenalty
 			continue
 		}
 		c.llcMisses++

@@ -5,13 +5,18 @@
 // 16 × 4-way OOO at 3.6 GHz, 16 MB LLC).
 package cpu
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
 
 // LLC is a shared set-associative last-level cache with LRU replacement.
 // Tag and valid state live in two flat arrays indexed by set×ways — one
 // allocation each instead of one per set, and contiguous for locality.
 type LLC struct {
 	sets     int
+	setBits  uint // log2(sets); sets is asserted a power of two
 	ways     int
 	lineBits uint
 	tags     []uint64 // sets×ways, LRU-ordered within a set: offset 0 = MRU
@@ -19,6 +24,8 @@ type LLC struct {
 
 	hits   uint64
 	misses uint64
+
+	pool *llcPool // set when the cache came from AcquireLLC
 }
 
 // NewLLC builds a cache of capacityBytes with the given associativity and
@@ -33,10 +40,57 @@ func NewLLC(capacityBytes, ways int) *LLC {
 		panic(fmt.Sprintf("cpu: LLC sets = %d must be a positive power of two", sets))
 	}
 	return &LLC{
-		sets: sets, ways: ways, lineBits: 6,
+		sets: sets, setBits: uint(bits.TrailingZeros(uint(sets))), ways: ways, lineBits: 6,
 		tags:  make([]uint64, sets*ways),
 		valid: make([]bool, sets*ways),
 	}
+}
+
+// Reset empties the cache and zeroes its counters. Only the valid bits
+// need clearing — tags are never read for invalid ways — so the cost is
+// one sets×ways byte memclr, a rounding error next to reallocating the
+// multi-megabyte tag array.
+func (l *LLC) Reset() {
+	for i := range l.valid {
+		l.valid[i] = false
+	}
+	l.hits = 0
+	l.misses = 0
+}
+
+type llcKey struct{ bytes, ways int }
+
+type llcPool struct{ p sync.Pool }
+
+var llcPools sync.Map // llcKey → *llcPool
+
+// AcquireLLC returns a cache indistinguishable from NewLLC's result,
+// recycling a previously released one of the same geometry when available.
+// Release with ReleaseLLC once the simulation is done with it.
+func AcquireLLC(capacityBytes, ways int) *LLC {
+	key := llcKey{bytes: capacityBytes, ways: ways}
+	entry, ok := llcPools.Load(key)
+	if !ok {
+		entry, _ = llcPools.LoadOrStore(key, &llcPool{})
+	}
+	pool := entry.(*llcPool)
+	if l, ok := pool.p.Get().(*LLC); ok {
+		l.Reset()
+		return l
+	}
+	l := NewLLC(capacityBytes, ways)
+	l.pool = pool
+	return l
+}
+
+// ReleaseLLC returns a cache obtained from AcquireLLC to its pool; caches
+// built directly with NewLLC are ignored. A released cache must not be
+// used again.
+func ReleaseLLC(l *LLC) {
+	if l == nil || l.pool == nil {
+		return
+	}
+	l.pool.p.Put(l)
 }
 
 // Access looks up addr, updating LRU state and allocating on miss
@@ -46,10 +100,16 @@ func NewLLC(capacityBytes, ways int) *LLC {
 func (l *LLC) Access(addr uint64) bool {
 	line := addr >> l.lineBits
 	set := int(line) & (l.sets - 1)
-	tag := line / uint64(l.sets)
+	tag := line >> l.setBits
 	base := set * l.ways
 	tags, valid := l.tags[base:base+l.ways], l.valid[base:base+l.ways]
-	for w := 0; w < l.ways; w++ {
+	// MRU fast path: streaming workloads hit the most-recent line far more
+	// often than any other way, and an MRU hit needs no LRU reshuffle.
+	if valid[0] && tags[0] == tag {
+		l.hits++
+		return true
+	}
+	for w := 1; w < l.ways; w++ {
 		if valid[w] && tags[w] == tag {
 			// Move to MRU.
 			copy(tags[1:w+1], tags[:w])

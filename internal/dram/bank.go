@@ -43,6 +43,27 @@ func NewBank(p timing.Params) *Bank {
 	return &Bank{p: p, openRow: -1}
 }
 
+// Reset returns the bank to its just-constructed state (precharged, idle,
+// zeroed counters). Used by the device pool between simulations.
+func (b *Bank) Reset() {
+	*b = Bank{p: b.p, openRow: -1}
+}
+
+// NextDeadline reports the earliest instant at or after now at which this
+// bank can accept a new command: now when it is idle, otherwise the end of
+// the maintenance window occupying it. Row-cycle (tRC) and rank-level
+// (tRRD/tFAW) constraints are not folded in — they delay an ACT's start
+// inside Access rather than gating whether a command may be attempted, so
+// they never create an event the calendar must wake for.
+//
+//mithril:hotpath
+func (b *Bank) NextDeadline(now timing.PicoSeconds) timing.PicoSeconds {
+	if b.busyUntil > now {
+		return b.busyUntil
+	}
+	return now
+}
+
 // OpenRow reports the currently open row, or -1 when precharged.
 //
 //mithril:hotpath
@@ -209,6 +230,11 @@ type rankTracker struct {
 	last4ACT [4]timing.PicoSeconds // ring buffer of recent ACT times
 	idx      int
 	primed   int // ACTs recorded so far (tFAW applies from the 4th on)
+}
+
+// reset returns the tracker to its just-constructed state.
+func (r *rankTracker) reset() {
+	*r = rankTracker{p: r.p}
 }
 
 // ACTReadyAt reports the earliest time a new ACT may start on this rank.

@@ -20,6 +20,8 @@ type Device struct {
 	checkers []*rh.Checker
 	ranks    []*rankTracker
 	refGroup []int // per rank: next refresh group to sweep
+
+	pool *devicePool // set when the device came from AcquireDevice
 }
 
 // NewDevice builds the device for the given parameters and fault model.
@@ -47,6 +49,43 @@ func NewDevice(p timing.Params, flipTH int, weights []float64) *Device {
 		d.ranks[i] = &rankTracker{p: p}
 	}
 	return d
+}
+
+// Reset returns the device to its just-constructed state: bank timing
+// state machines, rank trackers, and refresh sweep positions are zeroed,
+// and every checker starts a new epoch (per-row disturbance is invalidated
+// lazily, so the cost is O(banks), not O(banks × rows)). Used by the
+// device pool between simulations; callers of AcquireDevice receive an
+// already-Reset device.
+func (d *Device) Reset() {
+	for _, b := range d.banks {
+		b.Reset()
+	}
+	for _, ck := range d.checkers {
+		ck.Reset()
+	}
+	for _, r := range d.ranks {
+		r.reset()
+	}
+	for i := range d.refGroup {
+		d.refGroup[i] = 0
+	}
+}
+
+// NextDeadline reports the earliest instant at or after now at which any
+// bank leaves a maintenance window, or timing.Never when no bank is in
+// maintenance. Bank availability changes only through maintenance issued
+// by the controller, which tracks those deadlines incrementally — this
+// device-level scan is the contract's reference implementation for
+// diagnostics and tests, not a hot-loop dependency.
+func (d *Device) NextDeadline(now timing.PicoSeconds) timing.PicoSeconds {
+	next := timing.Never
+	for _, b := range d.banks {
+		if bu := b.BusyUntil(); bu > now && bu < next {
+			next = bu
+		}
+	}
+	return next
 }
 
 // Params returns the device timing parameters.

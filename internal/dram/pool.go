@@ -1,0 +1,68 @@
+package dram
+
+import (
+	"sync"
+
+	"mithril/internal/timing"
+)
+
+// Constructing a Device is dominated by zeroing the per-bank RowHammer
+// checkers (~50 MB for the DDR5 Table III geometry) — far more than a
+// short simulation spends simulating. The pool below recycles devices
+// between runs: Reset restores just-constructed semantics in O(banks)
+// because the checkers invalidate their row state lazily via epoch stamps.
+//
+// Devices are interchangeable only within one construction configuration,
+// so the pool is keyed by (Params, FlipTH, weights). Concurrency-safe:
+// parallel sweep workers each acquire an exclusive device.
+
+// maxPooledWeights bounds the disturbance-weight vectors that can be
+// inlined into the comparable pool key. Longer vectors (no shipped model
+// uses more than 3) skip pooling rather than lose exactness.
+const maxPooledWeights = 4
+
+type poolKey struct {
+	p      timing.Params
+	flipTH int
+	nw     int
+	w      [maxPooledWeights]float64
+}
+
+type devicePool struct{ p sync.Pool }
+
+var devicePools sync.Map // poolKey → *devicePool
+
+// AcquireDevice returns a device for the given configuration that is
+// indistinguishable from NewDevice's result, recycling a previously
+// released one when available. Release with ReleaseDevice once the
+// simulation no longer references the device or anything it owns.
+func AcquireDevice(p timing.Params, flipTH int, weights []float64) *Device {
+	if len(weights) > maxPooledWeights {
+		return NewDevice(p, flipTH, weights)
+	}
+	key := poolKey{p: p, flipTH: flipTH, nw: len(weights)}
+	copy(key.w[:], weights)
+	entry, ok := devicePools.Load(key)
+	if !ok {
+		entry, _ = devicePools.LoadOrStore(key, &devicePool{})
+	}
+	pool := entry.(*devicePool)
+	if d, ok := pool.p.Get().(*Device); ok {
+		d.Reset()
+		return d
+	}
+	d := NewDevice(p, flipTH, weights)
+	d.pool = pool
+	return d
+}
+
+// ReleaseDevice returns a device obtained from AcquireDevice to its pool.
+// The device may be in any state — mid-run cancellation included — since
+// the next acquisition Resets it. Devices built directly with NewDevice
+// are ignored, and a released device must not be used again.
+func ReleaseDevice(d *Device) {
+	if d == nil || d.pool == nil {
+		return
+	}
+	d.pool.p.Put(d)
+}

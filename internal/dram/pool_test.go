@@ -1,0 +1,51 @@
+package dram
+
+import (
+	"testing"
+
+	"mithril/internal/timing"
+)
+
+// exercise drives a deterministic access pattern and returns the device's
+// observable summaries.
+func exercise(d *Device) (BankStats, string) {
+	now := timing.PicoSeconds(0)
+	for i := 0; i < 200; i++ {
+		g := i % d.NumBanks()
+		_, ready := d.Access(g, (i*7)%64, i%3 == 0, now)
+		if ready > now {
+			now = ready
+		}
+		if i%50 == 49 {
+			now = d.IssueREF(0, now)
+		}
+	}
+	return d.TotalStats(), d.SafetyReport().String()
+}
+
+// TestAcquireDeviceIndistinguishableFromFresh pins the pool contract: a
+// device recycled through Release/Acquire — dirty state and all — must
+// behave exactly like one built by NewDevice.
+func TestAcquireDeviceIndistinguishableFromFresh(t *testing.T) {
+	p := smallParams()
+
+	dirty := AcquireDevice(p, 100, nil)
+	exercise(dirty) // leave bank timing, checker, and stats state behind
+	ReleaseDevice(dirty)
+
+	recycled := AcquireDevice(p, 100, nil)
+	defer ReleaseDevice(recycled)
+	fresh := NewDevice(p, 100, nil)
+
+	if rs, fs := recycled.TotalStats(), fresh.TotalStats(); rs != fs {
+		t.Fatalf("recycled device starts with stats %+v, fresh %+v", rs, fs)
+	}
+	rStats, rSafety := exercise(recycled)
+	fStats, fSafety := exercise(fresh)
+	if rStats != fStats {
+		t.Fatalf("recycled device diverged:\nrecycled: %+v\nfresh:    %+v", rStats, fStats)
+	}
+	if rSafety != fSafety {
+		t.Fatalf("safety reports diverged:\nrecycled: %s\nfresh:    %s", rSafety, fSafety)
+	}
+}

@@ -32,6 +32,11 @@ type AddressMapper struct {
 	p timing.Params
 
 	lineBits, chBits, colBits, bankBits, rankBits, rowBits int
+
+	// Precomputed field masks and the rank/bank fan-out, so the per-request
+	// decode is pure shift/mask/multiply-add without rebuilding constants.
+	chMask, colMask, bankMask, rankMask, rowMask uint64
+	ranks, banks                                 int
 }
 
 // LineSize is the cache line (and DRAM access) granularity in bytes.
@@ -57,6 +62,12 @@ func NewAddressMapper(p timing.Params) *AddressMapper {
 		}
 		*f.dst = bits.TrailingZeros(uint(f.v))
 	}
+	m.chMask = 1<<uint(m.chBits) - 1
+	m.colMask = 1<<uint(m.colBits) - 1
+	m.bankMask = 1<<uint(m.bankBits) - 1
+	m.rankMask = 1<<uint(m.rankBits) - 1
+	m.rowMask = 1<<uint(m.rowBits) - 1
+	m.ranks, m.banks = p.Ranks, p.Banks
 	return m
 }
 
@@ -64,19 +75,29 @@ func NewAddressMapper(p timing.Params) *AddressMapper {
 //
 //mithril:hotpath
 func (m *AddressMapper) Map(addr uint64) Location {
-	a := addr >> uint(m.lineBits)
-	ch := int(a & (1<<uint(m.chBits) - 1))
-	a >>= uint(m.chBits)
-	col := int(a & (1<<uint(m.colBits) - 1))
-	a >>= uint(m.colBits)
-	bank := int(a & (1<<uint(m.bankBits) - 1))
-	a >>= uint(m.bankBits)
-	rank := int(a & (1<<uint(m.rankBits) - 1))
-	a >>= uint(m.rankBits)
-	row := int(a & (1<<uint(m.rowBits) - 1))
-	loc := Location{Channel: ch, Rank: rank, Bank: bank, Row: row, Column: col}
-	loc.GlobalBank = (ch*m.p.Ranks+rank)*m.p.Banks + bank
+	var loc Location
+	m.MapInto(addr, &loc)
 	return loc
+}
+
+// MapInto decodes a physical byte address directly into loc, sparing the
+// per-request Location copy that returning by value would cost on the
+// enqueue path.
+//
+//mithril:hotpath
+func (m *AddressMapper) MapInto(addr uint64, loc *Location) {
+	a := addr >> uint(m.lineBits)
+	ch := int(a & m.chMask)
+	a >>= uint(m.chBits)
+	col := int(a & m.colMask)
+	a >>= uint(m.colBits)
+	bank := int(a & m.bankMask)
+	a >>= uint(m.bankBits)
+	rank := int(a & m.rankMask)
+	a >>= uint(m.rankBits)
+	row := int(a & m.rowMask)
+	*loc = Location{Channel: ch, Rank: rank, Bank: bank, Row: row, Column: col,
+		GlobalBank: (ch*m.ranks+rank)*m.banks + bank}
 }
 
 // Compose builds the physical byte address for a coordinate (the inverse of

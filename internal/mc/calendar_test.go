@@ -1,0 +1,88 @@
+package mc
+
+import (
+	"testing"
+
+	"mithril/internal/dram"
+	"mithril/internal/timing"
+)
+
+// TestNextDeadlineMatchesDeprecatedSurface dual-drives two identically
+// configured controllers — one through the calendar surface (TickDue /
+// NextDeadline), one through the deprecated tick surface (Tick / NextWork /
+// NextRefresh) — with the same pseudo-random request stream, and asserts
+// at every iteration that (a) both surfaces agree on the next interesting
+// instant under the loop's max(now+tick, next) jump rule and (b) the
+// controllers' observable state stays identical. This pins the
+// incremental deadline caches against the rescanning implementation they
+// replaced.
+func TestNextDeadlineMatchesDeprecatedSurface(t *testing.T) {
+	p := testParams()
+	build := func() (*Controller, *int) {
+		completions := 0
+		dev := dram.NewDevice(p, 1<<30, nil)
+		c := NewController(dev, Config{Scheduler: BLISS, Policy: MinimalistOpen},
+			func(*Request, timing.PicoSeconds) { completions++ })
+		return c, &completions
+	}
+	cal, calDone := build()
+	tick, tickDone := build()
+
+	space := cal.Mapper().AddressSpace()
+	now := timing.PicoSeconds(0)
+	state := uint64(99)
+	enqueued := 0
+	for i := 0; i < 4000; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		if state%3 == 0 {
+			id := uint64(i + 1)
+			core := int(state>>32) % 4
+			addr := (state >> 8) % space
+			okA := cal.Enqueue(&Request{ID: id, CoreID: core, Addr: addr})
+			okB := tick.Enqueue(&Request{ID: id, CoreID: core, Addr: addr})
+			if okA != okB {
+				t.Fatalf("iter %d: enqueue acceptance diverged (%v vs %v)", i, okA, okB)
+			}
+			if okA {
+				enqueued++
+			}
+		}
+
+		cal.TickDue(now)
+		tick.Tick(now)
+		if a, b := cal.Stats(), tick.Stats(); a != b {
+			t.Fatalf("iter %d at %v: stats diverged:\ncalendar: %+v\ntick:     %+v", i, now, a, b)
+		}
+		for ch := 0; ch < p.Channels; ch++ {
+			if a, b := cal.QueueLen(ch), tick.QueueLen(ch); a != b {
+				t.Fatalf("iter %d at %v: channel %d queue length %d vs %d", i, now, ch, a, b)
+			}
+		}
+
+		// The loops' shared jump rule: max(now+tick, next). Any clamping
+		// difference below now+tick must be absorbed by the max.
+		nextA := cal.NextDeadline(now)
+		nextB := tick.NextWork(now + p.TCK)
+		if r := tick.NextRefresh(); r < nextB {
+			nextB = r
+		}
+		stepA, stepB := now+p.TCK, now+p.TCK
+		if nextA > stepA {
+			stepA = nextA
+		}
+		if nextB > stepB {
+			stepB = nextB
+		}
+		if stepA != stepB {
+			t.Fatalf("iter %d at %v: calendar would jump to %v, tick loop to %v (NextDeadline=%v NextWork/Refresh=%v)",
+				i, now, stepA, stepB, nextA, nextB)
+		}
+		now = stepA
+	}
+	if enqueued == 0 || *calDone == 0 {
+		t.Fatalf("test exercised nothing: %d enqueued, %d completed", enqueued, *calDone)
+	}
+	if *calDone != *tickDone {
+		t.Fatalf("completions diverged: calendar %d, tick %d", *calDone, *tickDone)
+	}
+}

@@ -71,6 +71,18 @@ type channelCtl struct {
 	bliss      *blissState
 	nextREF    []timing.PicoSeconds // per rank in this channel
 	pendingARR []arrJob
+
+	// Calendar caches (TickDue/NextDeadline). refNext is the exact minimum
+	// over nextREF, updated where REFs are issued. workNext caches the raw
+	// (unclamped) minimum over every work candidate — pending-ARR bank
+	// availability, queued requests' max(blocked, bank busy), and RFM-due
+	// bank availability — and is exact whenever workDirty is false. Every
+	// mutation that can raise a candidate or remove the minimum sets
+	// workDirty instead of rescanning, so idle iterations (e.g. waiting out
+	// an RFM window, which only polls MRR) read cached values in O(channels).
+	refNext   timing.PicoSeconds
+	workNext  timing.PicoSeconds
+	workDirty bool
 }
 
 // Controller drives a dram.Device: request queues per channel, scheduling,
@@ -137,11 +149,16 @@ func NewController(dev *dram.Device, cfg Config, complete func(*Request, timing.
 			id:      ch,
 			bliss:   newBlissState(),
 			nextREF: make([]timing.PicoSeconds, p.Ranks),
+			// The queue is bounded by QueueDepth; reserving it up front
+			// keeps Enqueue free of growth reallocations.
+			queue: make([]*Request, 0, cfg.QueueDepth),
 		}
 		for r := range cc.nextREF {
 			// Stagger refreshes across ranks and channels.
 			cc.nextREF[r] = p.TREFI * timing.PicoSeconds(1+ch*p.Ranks+r) / timing.PicoSeconds(p.Channels*p.Ranks)
 		}
+		cc.refNext = minREF(cc.nextREF)
+		cc.workNext = timing.Never // empty queue, no maintenance pending
 		c.channels = append(c.channels, cc)
 	}
 	return c
@@ -164,13 +181,26 @@ func (c *Controller) QueueLen(channel int) int { return len(c.channels[channel].
 //
 //mithril:hotpath
 func (c *Controller) Enqueue(req *Request) bool {
-	req.Loc = c.mapper.Map(req.Addr)
+	c.mapper.MapInto(req.Addr, &req.Loc)
 	cc := c.channels[req.Loc.Channel]
 	if len(cc.queue) >= c.cfg.QueueDepth {
 		c.stats.Rejected++
 		return false
 	}
 	cc.queue = append(cc.queue, req)
+	if !cc.workDirty {
+		// Fold the new candidate into the cached work minimum: the request
+		// can start no earlier than its throttle release and its bank's busy
+		// horizon. Adding a candidate can only lower the minimum, so the
+		// cache stays exact without a rescan.
+		t := req.blocked
+		if bu := c.dev.Bank(req.Loc.GlobalBank).BusyUntil(); bu > t {
+			t = bu
+		}
+		if t < cc.workNext {
+			cc.workNext = t
+		}
+	}
 	return true
 }
 
@@ -216,10 +246,38 @@ func (c *Controller) clearRFMDue(channel, g int) {
 
 // Tick advances every channel by one command slot at time now.
 //
+// Deprecated: use TickDue, which skips channels with nothing actionable at
+// now and is state-identical on any instant (every skipped tickChannel is a
+// proven no-op). Tick remains for the legacy tick loop and older callers.
+//
 //mithril:hotpath
 func (c *Controller) Tick(now timing.PicoSeconds) {
+	//mithril:allow hotpathalloc deprecated shim retained for the legacy tick loop
 	for _, cc := range c.channels {
 		c.tickChannel(cc, now)
+	}
+}
+
+// TickDue advances only the channels that can make progress at now: a bank
+// awaiting its RFM (whose MRR skip flag is polled every iteration), an
+// auto-refresh deadline that has arrived, or a matured work candidate.
+// Skipping a non-due channel is exact, not approximate: with no refresh
+// due, no RFM-due bank, and every work candidate in the future, every
+// branch of tickChannel exits before its first side effect (banks report
+// unavailable or requests are blocked before the throttle hook runs), so
+// the skipped call could only have burned cycles.
+//
+//mithril:hotpath
+func (c *Controller) TickDue(now timing.PicoSeconds) {
+	for _, cc := range c.channels {
+		// A dirty channel ticks without a rescan: ticking is exact on any
+		// instant (the legacy loop ticked every channel every iteration),
+		// so conservatively including a channel costs at most the no-op
+		// call the legacy loop always made. Only a SKIP requires knowing
+		// nothing is actionable.
+		if cc.workDirty || c.rfmDueCount[cc.id] > 0 || cc.refNext <= now || cc.workNext <= now {
+			c.tickChannel(cc, now)
+		}
 	}
 }
 
@@ -231,6 +289,8 @@ func (c *Controller) tickChannel(cc *channelCtl, now timing.PicoSeconds) {
 			rankIdx := cc.id*c.p.Ranks + r
 			c.dev.IssueREF(rankIdx, now)
 			cc.nextREF[r] += c.p.TREFI
+			cc.refNext = minREF(cc.nextREF)
+			cc.workDirty = true // REF raised the rank's bank busy horizons
 			c.stats.REFIssued++
 			return
 		}
@@ -244,6 +304,7 @@ func (c *Controller) tickChannel(cc *channelCtl, now timing.PicoSeconds) {
 			c.stats.ARRVictims += uint64(len(job.victims))
 			c.releaseVictims(job.victims)
 			cc.pendingARR = append(cc.pendingARR[:i], cc.pendingARR[i+1:]...)
+			cc.workDirty = true // job consumed, bank busy through the ARR window
 			return
 		}
 	}
@@ -260,6 +321,7 @@ func (c *Controller) tickChannel(cc *channelCtl, now timing.PicoSeconds) {
 			if c.cfg.Scheme.SkipRFM(g) {
 				c.raa[g] = 0
 				c.clearRFMDue(cc.id, g)
+				cc.workDirty = true // due-bank candidate removed
 				c.stats.RFMSkipped++
 				continue // skip costs no command slot beyond the MRR
 			}
@@ -273,17 +335,13 @@ func (c *Controller) tickChannel(cc *channelCtl, now timing.PicoSeconds) {
 			}
 			c.raa[g] = 0
 			c.clearRFMDue(cc.id, g)
+			cc.workDirty = true // RFM occupies the bank; due candidate removed
 			c.stats.RFMIssued++
 			return
 		}
 	}
 	// 4. Serve one request.
-	idx := pick(c.cfg.Scheduler, cc.queue, cc.bliss, now,
-		func(i int) bool { return c.ready(cc.queue[i], now) },
-		func(i int) bool {
-			r := cc.queue[i]
-			return c.dev.Bank(r.Loc.GlobalBank).OpenRow() == r.Loc.Row
-		})
+	idx := c.pick(cc, now)
 	if idx < 0 {
 		return
 	}
@@ -308,6 +366,7 @@ func (c *Controller) ready(req *Request, now timing.PicoSeconds) bool {
 		// Needs an ACT: consult the throttle hook.
 		if until := c.cfg.Scheme.PreACTDelay(g, uint32(req.Loc.Row), req.CoreID, now); until > now {
 			req.blocked = until
+			c.channels[req.Loc.Channel].workDirty = true // candidate raised
 			c.stats.ThrottleHit++
 			return false
 		}
@@ -317,6 +376,9 @@ func (c *Controller) ready(req *Request, now timing.PicoSeconds) bool {
 
 //mithril:hotpath
 func (c *Controller) serve(cc *channelCtl, req *Request, now timing.PicoSeconds) {
+	// The served request leaves the queue and its bank goes busy (possibly
+	// with RFM-due and pending-ARR fallout); rescan lazily.
+	cc.workDirty = true
 	g := req.Loc.GlobalBank
 	activated, dataAt := c.dev.Access(g, req.Loc.Row, req.Write, now)
 	if activated {
@@ -366,6 +428,7 @@ func (c *Controller) RawActivate(globalBank int, row int, now timing.PicoSeconds
 		}
 	}
 	ch := c.channels[globalBank/(c.p.Ranks*c.p.Banks)]
+	ch.workDirty = true // bank busy horizon moved; RFM/ARR state may have too
 	if victims := c.cfg.Scheme.OnActivate(globalBank, uint32(row), -1, now); len(victims) > 0 {
 		ch.pendingARR = append(ch.pendingARR, arrJob{bank: globalBank, victims: c.retainVictims(victims)})
 	}
@@ -396,9 +459,111 @@ func (c *Controller) PendingWork() bool {
 	return false
 }
 
+// NextDeadline reports the earliest instant at or after now at which the
+// controller has time-driven work of its own: an auto-refresh deadline, a
+// matured queued request or maintenance job, or a scheme-originated
+// deadline. It subsumes the deprecated NextWork/NextRefresh pair and is
+// what the event calendar folds into its jump computation. Reads come from
+// the per-channel caches, so iterations that mutate nothing (waiting out
+// an RFM window) cost O(channels) instead of a queue rescan.
+//
+//mithril:hotpath
+func (c *Controller) NextDeadline(now timing.PicoSeconds) timing.PicoSeconds {
+	next := c.cfg.Scheme.NextDeadline(now)
+	for _, cc := range c.channels {
+		if cc.refNext <= now {
+			return now // a refresh is due this instant; nothing can be earlier
+		}
+		if cc.workDirty {
+			if c.rescanWork(cc, now) {
+				// Some candidate has already matured, which pins the clamped
+				// minimum to exactly now no matter what the remaining
+				// channels hold; the cache stays dirty and TickDue ticks
+				// this channel conservatively until a quiet iteration
+				// completes the scan.
+				return now
+			}
+		}
+		if cc.workNext < next {
+			next = cc.workNext
+		}
+		if cc.refNext < next {
+			next = cc.refNext
+		}
+	}
+	if next < now {
+		next = now
+	}
+	return next
+}
+
+// rescanWork rebuilds a channel's cached raw work minimum after mutations
+// flagged it dirty. Candidates mirror the deprecated NextWork: queued
+// requests' max(throttle release, bank busy), pending-ARR banks' busy
+// horizons, and RFM-due banks' busy horizons. The scan aborts — reporting
+// true and leaving the cache dirty — as soon as it sees a candidate at or
+// before now: the caller's clamped minimum is then exactly now, and busy
+// phases (where almost every iteration serves and dirties) touch a short
+// queue prefix instead of every entry.
+//
+//mithril:hotpath
+func (c *Controller) rescanWork(cc *channelCtl, now timing.PicoSeconds) (dueNow bool) {
+	next := timing.Never
+	for _, r := range cc.queue {
+		t := r.blocked
+		if bu := c.dev.Bank(r.Loc.GlobalBank).BusyUntil(); bu > t {
+			t = bu
+		}
+		if t <= now {
+			return true
+		}
+		if t < next {
+			next = t
+		}
+	}
+	for _, job := range cc.pendingARR {
+		if t := c.dev.Bank(job.bank).BusyUntil(); t <= now {
+			return true
+		} else if t < next {
+			next = t
+		}
+	}
+	if c.rfmDueCount[cc.id] > 0 {
+		base := cc.id * c.p.Ranks * c.p.Banks
+		for g := base; g < base+c.p.Ranks*c.p.Banks; g++ {
+			if c.rfmDue[g] {
+				if t := c.dev.Bank(g).BusyUntil(); t <= now {
+					return true
+				} else if t < next {
+					next = t
+				}
+			}
+		}
+	}
+	cc.workNext = next
+	cc.workDirty = false
+	return false
+}
+
+// minREF folds a channel's per-rank refresh deadlines into their minimum.
+//
+//mithril:hotpath
+func minREF(nextREF []timing.PicoSeconds) timing.PicoSeconds {
+	next := timing.Never
+	for _, t := range nextREF {
+		if t < next {
+			next = t
+		}
+	}
+	return next
+}
+
 // NextRefresh reports the earliest scheduled auto-refresh across ranks —
 // the only time-driven controller event, used by the simulator's idle
 // fast-forward.
+//
+// Deprecated: use NextDeadline, which folds refresh deadlines together
+// with queued work and scheme deadlines under the calendar contract.
 //
 //mithril:hotpath
 func (c *Controller) NextRefresh() timing.PicoSeconds {
@@ -417,6 +582,9 @@ func (c *Controller) NextRefresh() timing.PicoSeconds {
 // pending maintenance might become actionable (a far-future sentinel when
 // the controller is idle). Throttle-blocked requests contribute their
 // release times, which lets the simulator fast-forward BlockHammer delays.
+//
+// Deprecated: use NextDeadline, which returns the same minimum from
+// incrementally maintained caches instead of rescanning every queue.
 //
 //mithril:hotpath
 func (c *Controller) NextWork(now timing.PicoSeconds) timing.PicoSeconds {

@@ -202,6 +202,7 @@ func (r *rfmProbe) SkipRFM(int) bool {
 	}
 	return false
 }
+func (r *rfmProbe) NextDeadline(timing.PicoSeconds) timing.PicoSeconds { return timing.Never }
 
 func TestRFMIssuedEveryRFMTHActivations(t *testing.T) {
 	p := testParams()
@@ -266,6 +267,7 @@ func (a *arrProbe) OnActivate(bank int, row uint32, core int, now timing.PicoSec
 func (a *arrProbe) PreACTDelay(int, uint32, int, timing.PicoSeconds) timing.PicoSeconds { return 0 }
 func (a *arrProbe) OnRFM(int, timing.PicoSeconds) []uint32                              { return nil }
 func (a *arrProbe) SkipRFM(int) bool                                                    { return false }
+func (a *arrProbe) NextDeadline(timing.PicoSeconds) timing.PicoSeconds                  { return timing.Never }
 
 func TestARRInjection(t *testing.T) {
 	p := testParams()
@@ -302,6 +304,9 @@ func (tp *throttleProbe) PreACTDelay(bank int, row uint32, core int, now timing.
 }
 func (tp *throttleProbe) OnRFM(int, timing.PicoSeconds) []uint32 { return nil }
 func (tp *throttleProbe) SkipRFM(int) bool                       { return false }
+func (tp *throttleProbe) NextDeadline(timing.PicoSeconds) timing.PicoSeconds {
+	return timing.Never
+}
 
 func TestThrottlingDelaysACT(t *testing.T) {
 	p := testParams()

@@ -89,31 +89,49 @@ func (b *blissState) recordServe(core int, now timing.PicoSeconds) {
 	b.streak = 1
 }
 
-// pick selects the next serveable request index from queue, or -1.
-// ready(i) reports whether request i can start at now (bank availability,
-// RFM-due blocking, throttle delays); rowHit(i) reports open-row locality.
+// pick selects the next serveable request index from cc's queue, or -1.
+// A Controller method (rather than a free function taking ready/rowHit
+// closures) so the per-entry readiness and open-row probes are direct
+// calls: the scan runs once per serve attempt over every queued request,
+// and two indirect calls per entry were measurable on the simulator loop.
+// ready has side effects (throttle accounting, blocked-until updates), so
+// each policy calls it exactly once per unserved entry, in queue order.
 //
 //mithril:hotpath
-func pick(kind SchedulerKind, queue []*Request, bliss *blissState, now timing.PicoSeconds,
-	ready func(int) bool, rowHit func(int) bool) int {
-	best := -1
-	bestHit := false
-	bestWhite := false
-	for i, r := range queue {
-		if r.served || !ready(i) {
-			continue
+func (c *Controller) pick(cc *channelCtl, now timing.PicoSeconds) int {
+	queue := cc.queue
+	switch c.cfg.Scheduler {
+	case FCFS:
+		for i, r := range queue {
+			if !r.served && c.ready(r, now) {
+				return i // queue is in arrival order
+			}
 		}
-		switch kind {
-		case FCFS:
-			return i // queue is in arrival order
-		case FRFCFS:
-			hit := rowHit(i)
+		return -1
+	case FRFCFS:
+		best := -1
+		bestHit := false
+		for i, r := range queue {
+			if r.served || !c.ready(r, now) {
+				continue
+			}
+			hit := c.dev.Bank(r.Loc.GlobalBank).OpenRow() == r.Loc.Row
 			if best == -1 || (hit && !bestHit) {
 				best, bestHit = i, hit
 			}
-		case BLISS:
+		}
+		return best
+	case BLISS:
+		bliss := cc.bliss
+		best := -1
+		bestHit := false
+		bestWhite := false
+		for i, r := range queue {
+			if r.served || !c.ready(r, now) {
+				continue
+			}
 			white := !bliss.blacklisted(r.CoreID, now)
-			hit := rowHit(i)
+			hit := c.dev.Bank(r.Loc.GlobalBank).OpenRow() == r.Loc.Row
 			better := false
 			switch {
 			case best == -1:
@@ -127,6 +145,7 @@ func pick(kind SchedulerKind, queue []*Request, bliss *blissState, now timing.Pi
 				best, bestHit, bestWhite = i, hit, white
 			}
 		}
+		return best
 	}
-	return best
+	return -1
 }

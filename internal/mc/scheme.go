@@ -45,6 +45,16 @@ type Scheme interface {
 	// moment RAA reaches RFMTH, the controller resets the RAA counter
 	// without issuing the RFM command.
 	SkipRFM(globalBank int) bool
+
+	// NextDeadline reports the earliest instant at or after now at which
+	// the scheme needs controller attention of its own accord, or
+	// timing.Never for a purely reactive scheme (one that only acts inside
+	// the OnActivate/OnRFM/PreACTDelay callbacks). Every shipped scheme is
+	// reactive — throttle release times already reach the calendar through
+	// the per-request blocked deadlines PreACTDelay sets — so returning a
+	// real deadline is an opt-in for future autonomously-timed schemes.
+	// The controller folds the value into its own NextDeadline.
+	NextDeadline(now timing.PicoSeconds) timing.PicoSeconds
 }
 
 // NoProtection is the do-nothing baseline scheme.
@@ -78,3 +88,8 @@ func (NoProtection) OnRFM(int, timing.PicoSeconds) []uint32 { return nil }
 //
 //mithril:hotpath
 func (NoProtection) SkipRFM(int) bool { return false }
+
+// NextDeadline implements Scheme: the baseline never schedules work.
+//
+//mithril:hotpath
+func (NoProtection) NextDeadline(timing.PicoSeconds) timing.PicoSeconds { return timing.Never }

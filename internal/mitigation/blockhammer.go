@@ -171,6 +171,11 @@ func (s *BlockHammer) OnRFM(int, timing.PicoSeconds) []uint32 { return nil }
 //mithril:hotpath
 func (s *BlockHammer) SkipRFM(int) bool { return false }
 
+// NextDeadline implements mc.Scheme: BlockHammer is purely reactive — throttling is expressed through PreACTDelay's per-request release times, which the controller already tracks.
+//
+//mithril:hotpath
+func (s *BlockHammer) NextDeadline(timing.PicoSeconds) timing.PicoSeconds { return timing.Never }
+
 // CollidingRows implements the attack.Throttler oracle: for each of the
 // target row's hash slots, find another row of the bank hashing to the same
 // slot in that filter row. Activating the returned rows NBL times inflates

@@ -139,3 +139,8 @@ func (s *CBT) OnRFM(int, timing.PicoSeconds) []uint32 { return nil }
 //
 //mithril:hotpath
 func (s *CBT) SkipRFM(int) bool { return false }
+
+// NextDeadline implements mc.Scheme: CBT is purely reactive — the tree reacts to ACTs only.
+//
+//mithril:hotpath
+func (s *CBT) NextDeadline(timing.PicoSeconds) timing.PicoSeconds { return timing.Never }

@@ -130,3 +130,8 @@ func (s *Graphene) OnRFM(int, timing.PicoSeconds) []uint32 { return nil }
 //
 //mithril:hotpath
 func (s *Graphene) SkipRFM(int) bool { return false }
+
+// NextDeadline implements mc.Scheme: Graphene is purely reactive — the CbS tables react to ACTs only.
+//
+//mithril:hotpath
+func (s *Graphene) NextDeadline(timing.PicoSeconds) timing.PicoSeconds { return timing.Never }

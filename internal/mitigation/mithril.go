@@ -152,3 +152,10 @@ func (s *MithrilScheme) SkipRFM(bank int) bool {
 	}
 	return s.module(bank).SkipFlag()
 }
+
+// NextDeadline implements mc.Scheme: the in-DRAM modules act only inside
+// the RFM windows the controller schedules, so Mithril never contributes a
+// deadline of its own.
+//
+//mithril:hotpath
+func (s *MithrilScheme) NextDeadline(timing.PicoSeconds) timing.PicoSeconds { return timing.Never }

@@ -86,6 +86,11 @@ func (s *PARA) OnRFM(int, timing.PicoSeconds) []uint32 { return nil }
 //mithril:hotpath
 func (s *PARA) SkipRFM(int) bool { return false }
 
+// NextDeadline implements mc.Scheme: PARA is purely reactive — sampling happens inside OnActivate.
+//
+//mithril:hotpath
+func (s *PARA) NextDeadline(timing.PicoSeconds) timing.PicoSeconds { return timing.Never }
+
 // PARFM (Section III-E): the RFM-compatible probabilistic scheme. The DRAM
 // samples one aggressor uniformly among the last RFMTH activations at every
 // RFM command and refreshes its victims — every RFM executes a refresh
@@ -171,3 +176,8 @@ func (s *PARFM) OnRFM(bank int, now timing.PicoSeconds) []uint32 {
 //
 //mithril:hotpath
 func (s *PARFM) SkipRFM(int) bool { return false }
+
+// NextDeadline implements mc.Scheme: PARFM is purely reactive — sampling happens inside OnActivate/OnRFM.
+//
+//mithril:hotpath
+func (s *PARFM) NextDeadline(timing.PicoSeconds) timing.PicoSeconds { return timing.Never }

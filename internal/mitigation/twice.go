@@ -119,3 +119,8 @@ func (s *TWiCe) OnRFM(int, timing.PicoSeconds) []uint32 { return nil }
 //
 //mithril:hotpath
 func (s *TWiCe) SkipRFM(int) bool { return false }
+
+// NextDeadline implements mc.Scheme: TWiCe is purely reactive — the per-bank tables react to ACTs only.
+//
+//mithril:hotpath
+func (s *TWiCe) NextDeadline(timing.PicoSeconds) timing.PicoSeconds { return timing.Never }

@@ -26,13 +26,22 @@ func (f Flip) String() string {
 }
 
 // Checker accumulates RowHammer disturbance for one DRAM bank.
+//
+// Per-row state (disturb, flipped) is validated lazily against an epoch
+// stamp: a row whose stamp differs from the current epoch reads as
+// untouched. Reset therefore costs O(1) instead of re-zeroing two
+// row-length arrays — the property the dram device pool depends on, since
+// zeroing 64 banks × 65536 rows of checker state otherwise dominates
+// short simulations.
 type Checker struct {
 	rows    int
 	flipTH  float64
 	weights []float64 // weights[d-1] = disturbance added at distance d per ACT
 
 	disturb   []float64
-	flipped   []bool // latched per refresh epoch to avoid duplicate reports
+	flipped   []bool   // latched per refresh epoch to avoid duplicate reports
+	stamp     []uint32 // per row: epoch the disturb/flipped entries belong to
+	epoch     uint32
 	flips     []Flip
 	maxSeen   float64
 	maxRow    int
@@ -76,6 +85,40 @@ func NewChecker(rows, flipTH int, weights []float64) *Checker {
 		weights: weights,
 		disturb: make([]float64, rows),
 		flipped: make([]bool, rows),
+		stamp:   make([]uint32, rows),
+		epoch:   1, // fresh stamps are 0 → every row starts untouched
+	}
+}
+
+// Reset returns the checker to its just-constructed state in O(1): a new
+// epoch invalidates all per-row disturbance and flip latches lazily, and
+// the counters and flip log are cleared. Slices previously returned by
+// Flips are invalidated (their backing array is reused).
+func (c *Checker) Reset() {
+	c.epoch++
+	if c.epoch == 0 {
+		// uint32 wrap (once per ~4G resets): stale stamps could collide
+		// with a recycled epoch value, so hard-clear them.
+		for i := range c.stamp {
+			c.stamp[i] = 0
+		}
+		c.epoch = 1
+	}
+	c.flips = c.flips[:0]
+	c.maxSeen = 0
+	c.maxRow = 0
+	c.acts = 0
+	c.refreshes = 0
+}
+
+// touch validates row's lazily-reset state for the current epoch.
+//
+//mithril:hotpath
+func (c *Checker) touch(row int) {
+	if c.stamp[row] != c.epoch {
+		c.stamp[row] = c.epoch
+		c.disturb[row] = 0
+		c.flipped[row] = false
 	}
 }
 
@@ -94,6 +137,7 @@ func (c *Checker) OnActivate(row int, now timing.PicoSeconds) {
 			if v < 0 || v >= c.rows {
 				continue
 			}
+			c.touch(v)
 			c.disturb[v] += w
 			if c.disturb[v] > c.maxSeen {
 				c.maxSeen = c.disturb[v]
@@ -116,13 +160,19 @@ func (c *Checker) OnRefresh(row int) {
 		return // refresh sweeps may address padding rows; ignore
 	}
 	c.refreshes++
+	if c.stamp[row] != c.epoch {
+		// Untouched since the last Reset: the row already reads as zero
+		// disturbance, so the refresh sweep only needs the stamp probe (one
+		// dense uint32 read) instead of writing three arrays per row.
+		return
+	}
 	c.disturb[row] = 0
 	c.flipped[row] = false
 }
 
 // Disturbance reports the current accumulated disturbance of row.
 func (c *Checker) Disturbance(row int) float64 {
-	if row < 0 || row >= c.rows {
+	if row < 0 || row >= c.rows || c.stamp[row] != c.epoch {
 		return 0
 	}
 	return c.disturb[row]

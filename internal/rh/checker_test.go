@@ -213,3 +213,51 @@ func TestDisturbanceConservationProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestResetRestoresFreshBehaviour(t *testing.T) {
+	hammer := func(c *Checker) (int, float64) {
+		for i := 0; i < 30; i++ {
+			c.OnActivate(8, timing.PicoSeconds(i))
+		}
+		max, _ := c.MaxDisturbance()
+		return len(c.Flips()), max
+	}
+	c := NewChecker(64, 10, nil)
+	fresh := NewChecker(64, 10, nil)
+	wantFlips, wantMax := hammer(fresh)
+	if wantFlips == 0 {
+		t.Fatal("setup: hammering must produce flips")
+	}
+	hammer(c)
+	c.Reset()
+	// All per-row state must read as untouched without any array rewrite.
+	for row := 0; row < 64; row++ {
+		if d := c.Disturbance(row); d != 0 {
+			t.Fatalf("row %d keeps disturbance %g after Reset", row, d)
+		}
+	}
+	if acts, refs := c.Counts(); acts != 0 || refs != 0 {
+		t.Fatalf("counters survive Reset: %d ACTs, %d refreshes", acts, refs)
+	}
+	if len(c.Flips()) != 0 {
+		t.Fatalf("flip log survives Reset: %v", c.Flips())
+	}
+	// The next epoch must latch flips again exactly like a fresh checker.
+	if flips, max := hammer(c); flips != wantFlips || max != wantMax {
+		t.Fatalf("post-Reset epoch: %d flips / max %g, fresh checker: %d / %g",
+			flips, max, wantFlips, wantMax)
+	}
+}
+
+func TestRefreshOfUntouchedRowStillCounts(t *testing.T) {
+	c := NewChecker(64, 10, nil)
+	c.OnRefresh(5) // row never activated: stamp probe path
+	c.OnActivate(10, 0)
+	c.OnRefresh(9) // touched neighbour: full reset path
+	if d := c.Disturbance(9); d != 0 {
+		t.Fatalf("refreshed row keeps disturbance %g", d)
+	}
+	if _, refs := c.Counts(); refs != 2 {
+		t.Fatalf("refresh count = %d, want 2 (untouched rows still count)", refs)
+	}
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"context"
+
+	"mithril/internal/cpu"
+	"mithril/internal/mc"
+	"mithril/internal/timing"
+)
+
+// calendar is the next-event state the event-driven loop keeps per core. It
+// generalizes the completion heap: completions, controller deadlines
+// (refresh, matured work, scheme), and core wake-ups all feed one jump
+// computation, and cores whose wake time lies in the future are not
+// advanced at all. Two deadlines per core, not one, because they answer
+// different questions:
+//
+//   - wake[i]: earliest instant Advance(i) would change any state — the
+//     advance gate. Skipping a core with wake[i] > now is exact, not
+//     heuristic: every early-return path in Advance mutates nothing.
+//   - ready[i]: the core's contribution to the clock jump, identical to
+//     what the tick loop folded in via NextReady. A core that only needs
+//     one Advance to latch Finished has a wake time but no ready deadline;
+//     folding its wake into the jump would create iterations the tick loop
+//     never ran and change observable interleavings.
+//
+// Both caches stay valid while a core is skipped because its state is
+// mutated only by Advance and Complete, and every Complete delivery resets
+// wake[i] to now.
+//
+// The slices are allocated once per run in RunContext (the loop itself is
+// allocation-free).
+type calendar struct {
+	wake  []timing.PicoSeconds
+	ready []timing.PicoSeconds
+}
+
+func newCalendar(cores int) *calendar {
+	return &calendar{
+		wake:  make([]timing.PicoSeconds, cores), // zero: every core advances at t=0
+		ready: make([]timing.PicoSeconds, cores),
+	}
+}
+
+// runLoopCalendar is the event-driven simulator core: deliver due
+// completions, advance exactly the cores whose wake time has arrived, tick
+// exactly the channels with actionable work, then jump the clock to the
+// earliest of request completion, per-bank timing expiry, RFM/REF
+// deadline, and core wake-up. It is iteration-for-iteration equivalent to
+// the legacy tick loop — same time series, same per-iteration side effects
+// — the work skipped is exclusively calls the tick loop made that mutated
+// nothing. TestLoopEquivalence holds the two loops to byte-identical
+// results on every shipped quick spec.
+//
+//mithril:hotpath
+func runLoopCalendar(ctx context.Context, cfg *Config, cores []*cpu.Core, ctl *mc.Controller, pending *completionQueue, cal *calendar, cancellable bool) (now timing.PicoSeconds, allDone bool, err error) {
+	clk := tickClock{tick: cfg.Params.TCK}
+	required := cfg.RequireCores
+	if required <= 0 || required > len(cores) {
+		required = len(cores)
+	}
+	// Cores start unfinished (NewCore rejects non-positive targets), and
+	// only Advance can flip Finished, so counting transitions in the
+	// advance pass keeps the done check O(1) per iteration.
+	unfinished := required
+	sinceCheck := 0
+	for {
+		if cancellable {
+			sinceCheck++
+			if sinceCheck >= cancelCheckInterval {
+				sinceCheck = 0
+				if err := ctx.Err(); err != nil {
+					return clk.now, false, err
+				}
+			}
+		}
+		now := clk.now
+		// Deliver due completions; a delivery unblocks its core (MSHR slot,
+		// ROB head, or serialization drain), so its wake time collapses to
+		// now regardless of what was cached.
+		for pending.minAt() <= now {
+			c := pending.pop()
+			core := completionCore(c.reqID)
+			cores[core].Complete(c.reqID, c.at)
+			cal.wake[core] = now
+		}
+		for i, core := range cores {
+			if cal.wake[i] > now {
+				continue
+			}
+			wasUnfinished := i < required && !core.Finished()
+			core.Advance(now)
+			if wasUnfinished && core.Finished() {
+				unfinished--
+			}
+			cal.wake[i] = core.NextWake(now)
+			cal.ready[i] = core.NextDeadline(now)
+		}
+		if unfinished == 0 || now > cfg.MaxTime {
+			return now, unfinished == 0, nil
+		}
+		ctl.TickDue(now)
+		// Jump target: the controller's own deadline (refresh, matured
+		// work, scheme), the next completion, and the cores' deadlines.
+		// Cached ready values were clamped to an earlier now — harmless,
+		// since Step takes the max against now+tick anyway.
+		next := ctl.NextDeadline(now)
+		if t := pending.minAt(); t < next {
+			next = t
+		}
+		for _, t := range cal.ready {
+			if t < next {
+				next = t
+			}
+		}
+		clk.Step(next)
+	}
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"context"
+
+	"mithril/internal/cpu"
+	"mithril/internal/mc"
+	"mithril/internal/timing"
+)
+
+// runLoopTicked is the pre-calendar simulator loop: deliver completions,
+// advance every core, tick every channel, fast-forward over idle
+// stretches. It returns when the required cores finish or MaxTime passes
+// (allDone distinguishes the two), or with ctx's error on cancellation.
+//
+// Deprecated: runLoopCalendar is the production loop. This one is kept —
+// gated behind SetLegacyTickLoop, which only tests flip — as the reference
+// implementation the differential-equivalence suite compares against: it
+// calls every subsystem every iteration, so any divergence between the two
+// loops indicts a calendar skip decision, not this loop. It deliberately
+// drives the deprecated controller surface (Tick, NextWork, NextRefresh).
+//
+//mithril:hotpath
+func runLoopTicked(ctx context.Context, cfg *Config, cores []*cpu.Core, ctl *mc.Controller, pending *completionQueue, cancellable bool) (now timing.PicoSeconds, allDone bool, err error) {
+	clk := tickClock{tick: cfg.Params.TCK}
+	sinceCheck := 0
+	for {
+		if cancellable {
+			sinceCheck++
+			if sinceCheck >= cancelCheckInterval {
+				sinceCheck = 0
+				if err := ctx.Err(); err != nil {
+					return clk.now, false, err
+				}
+			}
+		}
+		now := clk.now
+		// Deliver due completions.
+		for pending.minAt() <= now {
+			c := pending.pop()
+			cores[completionCore(c.reqID)].Complete(c.reqID, c.at)
+		}
+		required := cfg.RequireCores
+		if required <= 0 || required > len(cores) {
+			required = len(cores)
+		}
+		allDone = true
+		for i, core := range cores {
+			core.Advance(now)
+			if i < required && !core.Finished() {
+				allDone = false
+			}
+		}
+		if allDone || now > cfg.MaxTime {
+			return now, allDone, nil
+		}
+		ctl.Tick(now)
+		// Idle fast-forward: jump to the next event (controller work,
+		// completion, core fetch time, or refresh slot) instead of ticking
+		// through dead time. This is what makes serialized attack loops
+		// (one miss per ~100 ns) and multi-microsecond throttle delays
+		// simulable over millisecond refresh windows.
+		next := ctl.NextWork(now + clk.tick)
+		if t := ctl.NextRefresh(); t < next {
+			next = t
+		}
+		if t := pending.minAt(); t < next {
+			next = t
+		}
+		for _, core := range cores {
+			if t := core.NextReady(); t < next {
+				next = t
+			}
+		}
+		clk.Step(next)
+	}
+}

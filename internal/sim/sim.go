@@ -1,12 +1,18 @@
 // Package sim assembles the full system — cores + LLC + memory controller +
-// DRAM device + mitigation scheme — and runs tick-driven simulations that
+// DRAM device + mitigation scheme — and runs event-driven simulations that
 // produce the performance, energy, and safety numbers behind the paper's
-// evaluation figures.
+// evaluation figures. The core is a next-event calendar (calendar.go): each
+// iteration advances only the cores and channels with actionable work,
+// then jumps the clock to the earliest of request completion, per-bank
+// timing expiry, RFM/REF deadline, and core wake-up. The pre-calendar
+// tick loop survives in legacy.go as the reference implementation the
+// differential-equivalence tests compare against.
 package sim
 
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"mithril/internal/cpu"
 	"mithril/internal/dram"
@@ -85,69 +91,101 @@ type Result struct {
 	Finished      bool // all cores reached their instruction target
 }
 
-// completion is a pending memory response.
+// completion is a pending memory response. The owning core index is
+// recovered from the request ID's top bits (cpu.NewCore seeds each core's
+// ID counter at id<<48 and validates the id fits), which keeps the heap
+// element at 16 bytes — one fewer word for every sift during push/pop.
 type completion struct {
 	at    timing.PicoSeconds
-	core  int
 	reqID uint64
 }
 
-// completionHeap is a typed binary min-heap on completion time. A manual
-// implementation instead of container/heap keeps the per-miss push/pop on
-// the simulator's hot loop free of interface boxing (one allocation per
-// memory access otherwise). Delivery order among equal times is
-// unspecified; completions commute (each touches only its own core).
-type completionHeap []completion
-
+// completionCore extracts the owning core index from a request ID.
+//
 //mithril:hotpath
-func (h *completionHeap) push(c completion) {
-	*h = append(*h, c)
-	s := *h
-	i := len(s) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if s[parent].at <= s[i].at {
-			break
-		}
-		s[parent], s[i] = s[i], s[parent]
-		i = parent
-	}
+func completionCore(reqID uint64) int { return int(reqID >> 48) }
+
+// completionQueue holds pending memory responses sorted by completion
+// time. Completion times arrive in loosely increasing order (each is
+// now + latency with a nondecreasing now), so a sorted buffer beats a
+// binary heap here: most pushes land at the tail after one comparison,
+// out-of-order pushes binary-search and shift only the later entries, and
+// pop is a head-index bump. A heap's sift comparisons are data-dependent
+// branches that mispredict ~half the time; this layout keeps the hot
+// delivery path branch-free. Delivery order among equal times follows
+// insertion order; completions commute (each touches only its own core).
+type completionQueue struct {
+	items []completion
+	head  int // items[head:] is the live window, sorted ascending by at
 }
 
 //mithril:hotpath
-func (h *completionHeap) pop() completion {
-	s := *h
-	top := s[0]
-	n := len(s) - 1
-	s[0] = s[n]
-	s = s[:n]
-	*h = s
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		min := i
-		if l < n && s[l].at < s[min].at {
-			min = l
-		}
-		if r < n && s[r].at < s[min].at {
-			min = r
-		}
-		if min == i {
-			break
-		}
-		s[i], s[min] = s[min], s[i]
-		i = min
+func (q *completionQueue) push(c completion) {
+	s := q.items
+	if q.head >= 32 && q.head*2 >= len(s) {
+		// Reclaim the consumed prefix before it forces slice growth: the
+		// live window slides right as completions are delivered.
+		n := copy(s, s[q.head:])
+		s = s[:n]
+		q.head = 0
 	}
-	return top
+	if n := len(s); n == q.head || s[n-1].at <= c.at {
+		q.items = append(s, c)
+		return
+	}
+	// First live element strictly later than c.at; inserting after equal
+	// times keeps equal-time delivery in push order.
+	lo, hi := q.head, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid].at <= c.at {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s = append(s, completion{})
+	copy(s[lo+1:], s[lo:len(s)-1])
+	s[lo] = c
+	q.items = s
 }
 
-// genSource adapts a trace.Generator to the core's Source interface.
-type genSource struct{ g trace.Generator }
+// minAt reports the earliest pending completion time, or timing.Never
+// when the queue is empty (so callers fold it into a min without an
+// emptiness branch).
+//
+//mithril:hotpath
+func (q *completionQueue) minAt() timing.PicoSeconds {
+	if q.head == len(q.items) {
+		return timing.Never
+	}
+	return q.items[q.head].at
+}
+
+//mithril:hotpath
+func (q *completionQueue) pop() completion {
+	c := q.items[q.head]
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return c
+}
+
+// genSource adapts a trace.Generator to the core's Source interface and
+// folds generator addresses into the device address space in the same
+// step. The space is always a power of two (AddressSpace is 1 << total
+// bits), so the fold is a mask rather than a per-access division.
+type genSource struct {
+	g    trace.Generator
+	mask uint64
+}
 
 //mithril:hotpath
 func (s genSource) Next() cpu.Op {
 	a := s.g.Next()
-	return cpu.Op{Gap: a.Gap, Addr: a.Addr, Write: a.Write, Serialize: a.Serialize, Uncached: a.Uncached}
+	return cpu.Op{Gap: a.Gap, Addr: a.Addr & s.mask, Write: a.Write, Serialize: a.Serialize, Uncached: a.Uncached}
 }
 
 // Run executes one simulation to completion (or MaxTime) and returns the
@@ -178,20 +216,27 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if scheme == nil {
 		scheme = mc.NoProtection{}
 	}
-	dev := dram.NewDevice(cfg.Params, cfg.FlipTH, cfg.Weights)
-	var pending completionHeap
+	// Device and LLC come from pools: their construction zeroes tens of
+	// megabytes of checker/tag state, which would dominate short runs.
+	// Nothing a Result carries aliases either object, so they are safe to
+	// recycle the moment RunContext returns (Reset on reacquisition erases
+	// any state, including that of a cancelled run).
+	dev := dram.AcquireDevice(cfg.Params, cfg.FlipTH, cfg.Weights)
+	defer dram.ReleaseDevice(dev)
+	var pending completionQueue
 	ctl := mc.NewController(dev, mc.Config{
 		Scheduler: cfg.Scheduler,
 		Policy:    cfg.Policy,
 		Scheme:    scheme,
 	}, func(r *mc.Request, at timing.PicoSeconds) {
-		pending.push(completion{at: at, core: r.CoreID, reqID: r.ID})
+		pending.push(completion{at: at, reqID: r.ID})
 	})
-	llc := cpu.NewLLC(cfg.LLCBytes, cfg.LLCWays)
+	llc := cpu.AcquireLLC(cfg.LLCBytes, cfg.LLCWays)
+	defer cpu.ReleaseLLC(llc)
 	space := ctl.Mapper().AddressSpace()
 	cores := make([]*cpu.Core, len(cfg.Workload))
 	for i, g := range cfg.Workload {
-		cores[i] = cpu.NewCore(i, cfg.CoreCfg, wrapSpace{genSource{g}, space}, llc, cfg.InstrPerCore, ctl.Enqueue)
+		cores[i] = cpu.NewCore(i, cfg.CoreCfg, genSource{g, space - 1}, llc, cfg.InstrPerCore, ctl.Enqueue)
 	}
 
 	cancellable := ctx.Done() != nil
@@ -202,7 +247,14 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 			return Result{}, err
 		}
 	}
-	now, allDone, err := runLoop(ctx, &cfg, cores, ctl, &pending, cancellable)
+	var now timing.PicoSeconds
+	var allDone bool
+	var err error
+	if useLegacyTickLoop.Load() {
+		now, allDone, err = runLoopTicked(ctx, &cfg, cores, ctl, &pending, cancellable)
+	} else {
+		now, allDone, err = runLoopCalendar(ctx, &cfg, cores, ctl, &pending, newCalendar(len(cores)), cancellable)
+	}
 	if err != nil {
 		return Result{}, err
 	}
@@ -211,81 +263,18 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	return res, nil
 }
 
-// runLoop is the simulator's tick loop: deliver completions, advance cores,
-// tick the controller, fast-forward over idle stretches. It returns when the
-// required cores finish or MaxTime passes (allDone distinguishes the two),
-// or with ctx's error on cancellation. Everything it calls per iteration is
-// allocation-free; the loop's cost is what the sweep harness amortizes.
-//
-//mithril:hotpath
-func runLoop(ctx context.Context, cfg *Config, cores []*cpu.Core, ctl *mc.Controller, pending *completionHeap, cancellable bool) (now timing.PicoSeconds, allDone bool, err error) {
-	tick := cfg.Params.TCK
-	sinceCheck := 0
-	for {
-		if cancellable {
-			sinceCheck++
-			if sinceCheck >= cancelCheckInterval {
-				sinceCheck = 0
-				if err := ctx.Err(); err != nil {
-					return now, false, err
-				}
-			}
-		}
-		// Deliver due completions.
-		for len(*pending) > 0 && (*pending)[0].at <= now {
-			c := pending.pop()
-			cores[c.core].Complete(c.reqID, c.at)
-		}
-		required := cfg.RequireCores
-		if required <= 0 || required > len(cores) {
-			required = len(cores)
-		}
-		allDone = true
-		for i, core := range cores {
-			core.Advance(now)
-			if i < required && !core.Finished() {
-				allDone = false
-			}
-		}
-		if allDone || now > cfg.MaxTime {
-			return now, allDone, nil
-		}
-		ctl.Tick(now)
-		now += tick
-		// Idle fast-forward: jump to the next event (controller work,
-		// completion, core fetch time, or refresh slot) instead of ticking
-		// through dead time. This is what makes serialized attack loops
-		// (one miss per ~100 ns) and multi-microsecond throttle delays
-		// simulable over millisecond refresh windows.
-		next := ctl.NextWork(now)
-		if t := ctl.NextRefresh(); t < next {
-			next = t
-		}
-		if len(*pending) > 0 && (*pending)[0].at < next {
-			next = (*pending)[0].at
-		}
-		for _, core := range cores {
-			if t := core.NextReady(); t < next {
-				next = t
-			}
-		}
-		if next > now {
-			now = next
-		}
-	}
-}
+// useLegacyTickLoop routes RunContext through the deprecated tick loop
+// (legacy.go) instead of the event calendar. Test-only: the differential-
+// equivalence suite flips it to prove both loops produce byte-identical
+// results on every shipped quick spec.
+var useLegacyTickLoop atomic.Bool
 
-// wrapSpace folds generator addresses into the device address space.
-type wrapSpace struct {
-	inner genSource
-	space uint64
-}
-
-//mithril:hotpath
-func (w wrapSpace) Next() cpu.Op {
-	op := w.inner.Next()
-	op.Addr %= w.space
-	return op
+// SetLegacyTickLoop selects the simulator loop for subsequent runs and
+// reports the previous setting (restore it with a deferred call). It
+// exists solely for the differential-equivalence tests; production code
+// always runs the calendar loop.
+func SetLegacyTickLoop(v bool) (prev bool) {
+	return useLegacyTickLoop.Swap(v)
 }
 
 func collect(cfg Config, scheme mc.Scheme, cores []*cpu.Core, dev *dram.Device, ctl *mc.Controller, llc *cpu.LLC, now timing.PicoSeconds) Result {

@@ -23,6 +23,13 @@ const (
 	Second      PicoSeconds = 1000 * Millisecond
 )
 
+// Never is the far-future sentinel for "no deadline": the uniform return
+// value of the NextDeadline contract when a component is purely reactive
+// (it can only be unblocked by someone else's action). It is large enough
+// that no simulated instant ever reaches it, yet far from overflowing when
+// small durations are added.
+const Never PicoSeconds = 1 << 62
+
 // String renders the duration with an adaptive unit for logs and errors.
 func (p PicoSeconds) String() string {
 	switch {
