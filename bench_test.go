@@ -7,6 +7,7 @@ package mithril
 // single -benchtime=1x pass regenerates every result.
 
 import (
+	"context"
 	"testing"
 
 	"mithril/internal/analysis"
@@ -434,6 +435,38 @@ func BenchmarkSweepSerial(b *testing.B) { benchmarkSweep(b, 1) }
 // BenchmarkSweepParallel fans the same grid out over all cores; compare
 // ns/op against BenchmarkSweepSerial for the engine's speedup.
 func BenchmarkSweepParallel(b *testing.B) { benchmarkSweep(b, 0) }
+
+// BenchmarkSweepWarmStore runs the figure10 quick grid against a fully
+// warmed result store: every row is a cache hit, so the measured cost is
+// pure store overhead — key hashing, lookup, payload decode, and row
+// re-rendering — with zero simulation. Compare against BenchmarkSweepSerial
+// for the resume speedup ceiling.
+func BenchmarkSweepWarmStore(b *testing.B) {
+	sp, err := LoadShippedSpec("figure10.quick")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := benchScale()
+	st := NewMemResultStore()
+	eng := NewEngine(DDR5(), WithResultStore(st))
+	ctx := context.Background()
+	if _, err := eng.RunSpecAt(ctx, sp, sc); err != nil {
+		b.Fatal(err) // warm-up sweep populates the store outside the timer
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.RunSpecAt(ctx, sp, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.RowsSimulated != 0 {
+			b.Fatalf("warm store simulated %d rows", res.RowsSimulated)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(res.RowsCached), "rows_cached")
+		}
+	}
+}
 
 // BenchmarkSimulatorThroughput measures raw simulation speed (ticks are
 // dominated by controller work), the practical limit on experiment scale.

@@ -39,6 +39,14 @@
 //	diff      run a spec and diff its golden-format output against a file:
 //	          diff <spec.json | shipped-name> <golden.txt>
 //	serve     HTTP service: POST /run streams a spec's rows as NDJSON
+//	store     result-store maintenance: store <stats|gc|verify> (-store DIR)
+//	version   print the result-store schema version and registry stamp
+//
+// With -store DIR, every sweep runs against a durable content-addressed
+// result store: rows already stored are served without simulating, fresh
+// rows are written back as workers finish, and an interrupted run picks
+// up where it left off when re-run with the same directory. Output is
+// byte-identical with and without the store.
 //
 // The figure7/9/10/11 and safety commands are themselves spec-backed: they
 // run the shipped specs/*.json grids (quick or, with -full, full variants).
@@ -63,12 +71,17 @@ import (
 
 // env carries the parsed global flags into command handlers.
 type env struct {
-	full    bool
-	flipTH  int
-	jobs    int
-	format  string
-	timeout time.Duration
-	addr    string
+	full     bool
+	flipTH   int
+	jobs     int
+	format   string
+	timeout  time.Duration
+	addr     string
+	storeDir string
+	// store is the opened -store directory (nil without the flag): every
+	// sweep consults it before simulating a row and writes rows back, so
+	// re-running an interrupted sweep simulates only the missing rows.
+	store mithril.ResultStore
 }
 
 // scale resolves the -full flag into the experiment scale.
@@ -91,6 +104,9 @@ func (e env) engine(label string) *mithril.Engine {
 	}
 	if p := stderrProgress(label); p != nil {
 		opts = append(opts, mithril.WithProgress(p))
+	}
+	if e.store != nil {
+		opts = append(opts, mithril.WithResultStore(e.store))
 	}
 	return mithril.NewEngine(mithril.DDR5(), opts...)
 }
@@ -143,6 +159,8 @@ var commands = []command{
 	{name: "attacks", run: attacksCmd},
 	{name: "diff", args: "<spec.json> <golden.txt>", nargs: 2, run: diffCmd},
 	{name: "serve", run: serveCmd},
+	{name: "store", args: "<stats|gc|verify>", nargs: 1, run: storeCmd},
+	{name: "version", run: versionCmd},
 }
 
 func usage() {
@@ -160,17 +178,24 @@ func usage() {
 	flag.PrintDefaults()
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body behind an exit code instead of os.Exit calls, so
+// the result store's deferred Close runs on every path — including an
+// interrupted sweep, whose already-completed rows are the whole point of
+// resuming with the same -store directory.
+func run() int {
 	full := flag.Bool("full", false, "run at the paper's full scale (16 cores, all FlipTH levels)")
 	flipTH := flag.Int("flipth", 2000, "FlipTH for the safety sweep")
 	jobs := flag.Int("jobs", 0, "sweep worker count (0 = all cores, 1 = serial)")
 	format := flag.String("format", expspec.FormatTable, "output format: table, json, csv, or golden")
 	timeout := flag.Duration("timeout", 0, "abort the whole invocation after this duration (0 = none)")
 	addr := flag.String("addr", "localhost:8377", "listen address for the serve command")
+	storeDir := flag.String("store", "", "content-addressed result store directory: sweep rows already stored are served instead of re-simulated, fresh rows are written back (maintain with `mithrilsim store`)")
 	flag.Usage = usage
 	if len(os.Args) < 2 {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	cmd := os.Args[1]
 	// Parse flags and positionals in any order: flag.Parse stops at the
@@ -183,7 +208,7 @@ func main() {
 			// this path covers any other error handling mode.
 			fmt.Fprintf(os.Stderr, "mithrilsim: %v\n", err)
 			flag.Usage()
-			os.Exit(2)
+			return 2
 		}
 		rest = flag.CommandLine.Args()
 		if len(rest) == 0 {
@@ -192,7 +217,26 @@ func main() {
 		pos = append(pos, rest[0])
 		rest = rest[1:]
 	}
-	e := env{full: *full, flipTH: *flipTH, jobs: *jobs, format: *format, timeout: *timeout, addr: *addr}
+	e := env{full: *full, flipTH: *flipTH, jobs: *jobs, format: *format, timeout: *timeout, addr: *addr, storeDir: *storeDir}
+
+	// Open the -store directory once for the whole invocation; Close
+	// (deferred) finalizes the active segment even when the command
+	// fails or the sweep is interrupted. The `store` maintenance command
+	// manages the directory itself — `store verify` must stay read-only,
+	// and opening here would adopt crash-left segments before it looked.
+	if e.storeDir != "" && cmd != "store" {
+		d, err := mithril.OpenResultStore(e.storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mithrilsim: %v\n", err)
+			return 1
+		}
+		e.store = d
+		defer func() {
+			if err := d.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "mithrilsim: closing store: %v\n", err)
+			}
+		}()
+	}
 
 	// One root context governs the whole invocation: -timeout bounds it,
 	// Ctrl-C / SIGTERM cancel it, and every sweep (and every in-flight
@@ -209,7 +253,7 @@ func main() {
 		if len(pos) > 0 {
 			fmt.Fprintf(os.Stderr, "mithrilsim: unexpected arguments: %v\n", pos)
 			flag.Usage()
-			os.Exit(2)
+			return 2
 		}
 		for _, c := range commands {
 			if !c.inAll {
@@ -217,10 +261,10 @@ func main() {
 			}
 			if err := c.run(ctx, e, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", c.name, err)
-				os.Exit(1)
+				return 1
 			}
 		}
-		return
+		return 0
 	}
 	for _, c := range commands {
 		if c.name != cmd {
@@ -229,16 +273,16 @@ func main() {
 		if len(pos) != c.nargs {
 			fmt.Fprintf(os.Stderr, "mithrilsim %s: want %d argument(s) %s, got %v\n", c.name, c.nargs, c.args, pos)
 			flag.Usage()
-			os.Exit(2)
+			return 2
 		}
 		if err := c.run(ctx, e, pos); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", c.name, err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	flag.Usage()
-	os.Exit(2)
+	return 2
 }
 
 func header(title string) {
@@ -246,8 +290,16 @@ func header(title string) {
 }
 
 // emit prints a spec result in the requested format; the table format gets
-// the figure's title banner, machine formats are bare.
+// the figure's title banner, machine formats are bare. With a result
+// store attached, the cache-effectiveness split lands on stderr (stdout
+// must stay byte-identical with and without -store) in greppable
+// rows=/cached=/simulated= form — the CI store-equivalence job asserts
+// warm re-runs simulate nothing.
 func emit(e env, res *expspec.Result) error {
+	if e.store != nil {
+		fmt.Fprintf(os.Stderr, "mithrilsim: %s: rows=%d cached=%d simulated=%d\n",
+			res.Spec.Name, res.RowsCached+res.RowsSimulated, res.RowsCached, res.RowsSimulated)
+	}
 	if e.format == expspec.FormatTable {
 		header(res.Spec.Title)
 	}

@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -59,7 +60,15 @@ func serveCmd(ctx context.Context, e env, _ []string) error {
 func newServeHandler(e env) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
+		// The stamp lets a client predict cache behaviour: rows stored
+		// under another stamp (schema bump, different scheme registry)
+		// will re-simulate rather than hit.
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status": "ok",
+			"stamp":  mithril.ResultStoreStamp(),
+			"store":  e.store != nil,
+		})
 	})
 	mux.HandleFunc("/schemes", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -84,6 +93,28 @@ func newServeHandler(e env) http.Handler {
 type ndjsonError struct {
 	Error string `json:"error"`
 }
+
+// ndjsonSummary is the terminal line of a completed stream: the row
+// count and its cached/simulated split. Consumers distinguish it from
+// data rows by the "summary" key, mirroring the "error" convention; the
+// same split rides the X-Mithril-Rows-Cached/-Simulated trailers for
+// clients that consume trailers. Without a result store every row counts
+// as simulated.
+type ndjsonSummary struct {
+	Summary rowSplit `json:"summary"`
+}
+
+type rowSplit struct {
+	Rows      int `json:"rows"`
+	Cached    int `json:"cached"`
+	Simulated int `json:"simulated"`
+}
+
+// Trailer names carrying the per-request cache-effectiveness split.
+const (
+	trailerCached    = "X-Mithril-Rows-Cached"
+	trailerSimulated = "X-Mithril-Rows-Simulated"
+)
 
 // handleRun parses the POSTed spec, executes it on the request's Engine,
 // and streams each completed row as one NDJSON line. The request context
@@ -123,17 +154,28 @@ func handleRun(e env, w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Spec-Name", sp.Name)
+	// Declared before the body starts, set after the stream completes:
+	// the cache-effectiveness split arrives as HTTP trailers (and as the
+	// final NDJSON summary line, for clients that never look at trailers).
+	w.Header().Set("Trailer", trailerCached+", "+trailerSimulated)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	// No terminal progress renderer here: concurrent requests would
 	// interleave redraw lines (labelled with client-supplied spec names)
 	// on the operator's terminal. The -jobs override comes in through
-	// WithJobs; otherwise the spec's resolved scale governs.
+	// WithJobs; otherwise the spec's resolved scale governs. The shared
+	// result store (opened once at startup) rides in per request: rows
+	// any earlier request — or an earlier process — already simulated
+	// stream back immediately.
 	var opts []mithril.EngineOption
 	if e.jobs != 0 {
 		opts = append(opts, mithril.WithJobs(e.jobs))
 	}
+	if e.store != nil {
+		opts = append(opts, mithril.WithResultStore(e.store))
+	}
 	eng := mithril.NewEngine(mithril.DDR5(), opts...)
+	var split rowSplit
 	for row, err := range eng.StreamAt(r.Context(), sp, sc) {
 		if err != nil {
 			// Rows may already be on the wire; the status is committed.
@@ -158,5 +200,14 @@ func handleRun(e env, w http.ResponseWriter, r *http.Request) {
 		if flusher != nil {
 			flusher.Flush()
 		}
+		split.Rows++
+		if row.Cached {
+			split.Cached++
+		} else {
+			split.Simulated++
+		}
 	}
+	_ = enc.Encode(ndjsonSummary{Summary: split})
+	w.Header().Set(trailerCached, strconv.Itoa(split.Cached))
+	w.Header().Set(trailerSimulated, strconv.Itoa(split.Simulated))
 }

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"mithril"
 	"mithril/internal/testutil"
 )
 
@@ -55,6 +56,7 @@ func TestServeRunStreamsNDJSON(t *testing.T) {
 	}
 	sc := bufio.NewScanner(resp.Body)
 	seenRows := map[float64]bool{}
+	var summaries []map[string]any
 	for sc.Scan() {
 		var row map[string]any
 		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
@@ -62,6 +64,13 @@ func TestServeRunStreamsNDJSON(t *testing.T) {
 		}
 		if msg, isErr := row["error"]; isErr {
 			t.Fatalf("stream reported error: %v", msg)
+		}
+		if s, isSummary := row["summary"]; isSummary {
+			summaries = append(summaries, s.(map[string]any))
+			continue
+		}
+		if len(summaries) > 0 {
+			t.Fatalf("data row after the summary record: %v", row)
 		}
 		for _, key := range []string{"scheme", "flipth", "workload", "perf", "row"} {
 			if _, ok := row[key]; !ok {
@@ -76,6 +85,87 @@ func TestServeRunStreamsNDJSON(t *testing.T) {
 	// The 2-cell grid must stream exactly rows 0 and 1.
 	if len(seenRows) != 2 || !seenRows[0] || !seenRows[1] {
 		t.Fatalf("row indices = %v, want {0, 1}", seenRows)
+	}
+	// One terminal summary record; storeless, so every row simulated.
+	if len(summaries) != 1 {
+		t.Fatalf("summary records = %d, want 1", len(summaries))
+	}
+	if s := summaries[0]; s["rows"].(float64) != 2 || s["cached"].(float64) != 0 || s["simulated"].(float64) != 2 {
+		t.Fatalf("summary = %v, want 2 rows, 0 cached, 2 simulated", summaries[0])
+	}
+	// The same split rides the declared HTTP trailers (readable after EOF).
+	if c, s := resp.Trailer.Get("X-Mithril-Rows-Cached"), resp.Trailer.Get("X-Mithril-Rows-Simulated"); c != "0" || s != "2" {
+		t.Fatalf("trailers cached=%q simulated=%q, want 0 and 2", c, s)
+	}
+}
+
+// streamRun POSTs spec and returns the data rows (keyed by row index) and
+// the terminal summary, failing the test on any stream error.
+func streamRun(t *testing.T, url, spec string) (rows map[float64]map[string]any, summary map[string]any, trailer http.Header) {
+	t.Helper()
+	resp, err := http.Post(url+"/run", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	rows = map[float64]map[string]any{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var row map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if msg, isErr := row["error"]; isErr {
+			t.Fatalf("stream reported error: %v", msg)
+		}
+		if s, isSummary := row["summary"]; isSummary {
+			summary = s.(map[string]any)
+			continue
+		}
+		rows[row["row"].(float64)] = row
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return rows, summary, resp.Trailer
+}
+
+// TestServeWarmStore pins the serve-layer cache contract: with a result
+// store attached, a repeated request streams every row from the store —
+// summary and trailers report zero simulated — and the rows are
+// identical to the cold request's.
+func TestServeWarmStore(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	ts := httptest.NewServer(newServeHandler(env{jobs: 2, store: mithril.NewMemResultStore()}))
+	defer ts.Close()
+
+	cold, coldSum, _ := streamRun(t, ts.URL, testSpec)
+	if coldSum["cached"].(float64) != 0 || coldSum["simulated"].(float64) != 2 {
+		t.Fatalf("cold summary = %v, want 0 cached, 2 simulated", coldSum)
+	}
+	warm, warmSum, warmTrailer := streamRun(t, ts.URL, testSpec)
+	if warmSum["cached"].(float64) != 2 || warmSum["simulated"].(float64) != 0 {
+		t.Fatalf("warm summary = %v, want 2 cached, 0 simulated", warmSum)
+	}
+	if c := warmTrailer.Get("X-Mithril-Rows-Cached"); c != "2" {
+		t.Fatalf("warm trailer cached = %q, want 2", c)
+	}
+	if len(warm) != len(cold) {
+		t.Fatalf("warm rows = %d, cold rows = %d", len(warm), len(cold))
+	}
+	for idx, coldRow := range cold {
+		warmRow, ok := warm[idx]
+		if !ok {
+			t.Fatalf("warm stream missing row %v", idx)
+		}
+		for k, v := range coldRow {
+			if warmRow[k] != v {
+				t.Errorf("row %v column %q: cold %v, warm %v", idx, k, v, warmRow[k])
+			}
+		}
 	}
 }
 
@@ -133,7 +223,18 @@ func TestServeHealthAndSchemes(t *testing.T) {
 	if err != nil || resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz: %v %v", resp, err)
 	}
+	var health struct {
+		Status string `json:"status"`
+		Stamp  string `json:"stamp"`
+		Store  bool   `json:"store"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
 	resp.Body.Close()
+	if health.Status != "ok" || health.Stamp != mithril.ResultStoreStamp() || health.Store {
+		t.Fatalf("healthz = %+v, want ok + current stamp + store=false", health)
+	}
 	resp, err = http.Get(ts.URL + "/schemes")
 	if err != nil {
 		t.Fatal(err)

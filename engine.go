@@ -41,6 +41,7 @@ type Engine struct {
 	jobs      int // 0: leave the scale's worker count alone
 	progress  ProgressFunc
 	baselines *expspec.BaselineCache
+	store     ResultStore
 }
 
 // EngineOption configures an Engine at construction.
@@ -74,6 +75,19 @@ func WithBaselineCache() EngineOption {
 	return func(e *Engine) { e.baselines = expspec.NewBaselineCache() }
 }
 
+// WithResultStore attaches a content-addressed result store shared by
+// every RunSpec/Stream call: each grid row is looked up before it
+// simulates and written back when a worker completes it, so a row is
+// simulated at most once across executions — and, with a disk store
+// (OpenResultStore), across process lifetimes. Keys cover everything
+// that determines a row (cell values, timing parameters, scale geometry,
+// schema/registry stamp), so sharing is always sound and output stays
+// byte-identical with or without the store. ExperimentResult's
+// RowsCached/RowsSimulated report the split.
+func WithResultStore(st ResultStore) EngineOption {
+	return func(e *Engine) { e.store = st }
+}
+
 // NewEngine builds an Engine for the DRAM parameter set p (the default
 // Params for Run/Compare configs that leave theirs zero).
 func NewEngine(p TimingParams, opts ...EngineOption) *Engine {
@@ -86,7 +100,7 @@ func NewEngine(p TimingParams, opts ...EngineOption) *Engine {
 
 // execOptions binds the Engine's hooks for one spec execution.
 func (e *Engine) execOptions() *expspec.ExecOptions {
-	return &expspec.ExecOptions{Progress: e.progress, Baselines: e.baselines}
+	return &expspec.ExecOptions{Progress: e.progress, Baselines: e.baselines, Store: e.store}
 }
 
 // scaleFor resolves a spec's scale with the Engine's worker count applied.

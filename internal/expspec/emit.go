@@ -31,6 +31,14 @@ type Result struct {
 	Safety []SafetyResult // safety
 	Grid   []Figure9Point // configgrid
 	AdTH   []Figure7Point // adth
+
+	// Cache effectiveness: how many rows the result store served versus
+	// how many the sweep simulated (RowsCached + RowsSimulated equals the
+	// row count; storeless executions simulate everything). The counters
+	// never influence the rows themselves — output stays byte-identical
+	// at any split.
+	RowsCached    int
+	RowsSimulated int
 }
 
 // column is one bound output column: the machine name (spec "columns"

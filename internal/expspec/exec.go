@@ -14,6 +14,7 @@ import (
 	"mithril/internal/energy"
 	"mithril/internal/mc"
 	"mithril/internal/mitigation"
+	"mithril/internal/resultstore"
 	"mithril/internal/sim"
 	"mithril/internal/stats"
 	"mithril/internal/sweep"
@@ -162,6 +163,13 @@ type Row struct {
 	Safety *SafetyResult // safety
 	Grid   *Figure9Point // configgrid
 	AdTH   *Figure7Point // adth
+
+	// Cached is true when the row was served from the result store
+	// instead of simulated (rows from storeless executions are never
+	// cached). Cached and simulated rows are byte-identical in every
+	// output format — the flag exists for effectiveness accounting, not
+	// for consumers to treat the rows differently.
+	Cached bool
 }
 
 // ---------------------------------------------------------- exec options
@@ -180,6 +188,13 @@ type ExecOptions struct {
 	// Entries are keyed by everything that determines a baseline run —
 	// scale geometry, seed, FlipTH, workload — so sharing is always sound.
 	Baselines *BaselineCache
+	// Store, when non-nil, is the content-addressed result store: every
+	// cacheable row is looked up before it simulates (a hit is served
+	// as-is, marked Row.Cached) and written back when a worker completes
+	// it. Keys cover everything that determines a row (see storekey.go),
+	// so a shared store never conflates scales, seeds, or schema
+	// generations; rows stream in the same deterministic order either way.
+	Store resultstore.Store
 }
 
 func (o *ExecOptions) progress() func(done, total int) {
@@ -194,6 +209,13 @@ func (o *ExecOptions) baselines() *BaselineCache {
 		return NewBaselineCache()
 	}
 	return o.Baselines
+}
+
+func (o *ExecOptions) store() resultstore.Store {
+	if o == nil {
+		return nil
+	}
+	return o.Store
 }
 
 // BaselineCache is a single-flight cache of unprotected baseline runs,
@@ -516,6 +538,13 @@ func (s *Spec) RunAtContext(ctx context.Context, sc Scale, opts *ExecOptions) (*
 		return nil, err
 	}
 	res := &Result{Spec: s, Scale: sc}
+	for _, row := range rows {
+		if row.Cached {
+			res.RowsCached++
+		} else {
+			res.RowsSimulated++
+		}
+	}
 	switch s.Kind {
 	case Comparison:
 		res.Perf = make([]PerfPoint, len(rows))
@@ -595,6 +624,14 @@ type rowRunner struct {
 	workloads map[uint64]trace.Workload // configgrid
 	mapper    *mc.AddressMapper         // safety
 
+	// Result-store binding: keys/cacheable are indexed like cells and
+	// precomputed before the sweep starts, so bad attack spellings fail
+	// loudly up front and row jobs stay pure lookups.
+	store     resultstore.Store
+	stamp     string
+	keys      []resultstore.Key
+	cacheable []bool
+
 	done     int
 	total    int
 	mu       sync.Mutex
@@ -615,6 +652,19 @@ func (s *Spec) newRowRunner(sc Scale, opts *ExecOptions) (*rowRunner, error) {
 		onRow: opts.progress(),
 	}
 	rr.total = len(rr.cells)
+	if st := opts.store(); st != nil {
+		rr.store = st
+		rr.stamp = StoreStamp()
+		rr.keys = make([]resultstore.Key, len(rr.cells))
+		rr.cacheable = make([]bool, len(rr.cells))
+		for i, c := range rr.cells {
+			key, ok, err := s.cellKey(sc, c, rr.stamp)
+			if err != nil {
+				return nil, err
+			}
+			rr.keys[i], rr.cacheable[i] = key, ok
+		}
+	}
 	// buildNamed resolves one workloads-axis name. Trace replays are
 	// seed-independent, so one build (one file parse) serves every seed.
 	traceShared := map[string]trace.Workload{}
@@ -704,6 +754,10 @@ func (s *Spec) newRowRunner(sc Scale, opts *ExecOptions) (*rowRunner, error) {
 // pre-streaming executor built one per simulation cell.
 func (rr *rowRunner) run(ctx context.Context, i int) (Row, error) {
 	row := Row{Index: i, Cell: rr.cells[i]}
+	if rr.cachedRow(i, &row) {
+		rr.reportProgress()
+		return row, nil
+	}
 	var err error
 	switch rr.spec.Kind {
 	case Comparison:
@@ -718,8 +772,45 @@ func (rr *rowRunner) run(ctx context.Context, i int) (Row, error) {
 	if err != nil {
 		return Row{}, err
 	}
+	if err := rr.storeRow(i, row); err != nil {
+		return Row{}, err
+	}
 	rr.reportProgress()
 	return row, nil
+}
+
+// cachedRow serves row i from the result store when possible. Any defect
+// in a stored record — wrong stamp, undecodable payload, a point of the
+// wrong kind — is a miss (the row re-simulates and overwrites it), never
+// an error: the store is an accelerator, not a dependency.
+func (rr *rowRunner) cachedRow(i int, row *Row) bool {
+	if rr.store == nil || !rr.cacheable[i] {
+		return false
+	}
+	rec, ok := rr.store.Get(rr.keys[i])
+	if !ok || rec.Stamp != rr.stamp {
+		return false
+	}
+	if !decodeRow(rr.spec.Kind, rec.Payload, row) {
+		return false
+	}
+	row.Cached = true
+	return true
+}
+
+// storeRow writes a freshly simulated row back to the result store. A
+// write failure is loud — a -store directory that stops accepting writes
+// mid-sweep means rows the operator asked to persist are being lost, and
+// silently degrading to compute-only would hide that until the re-run.
+func (rr *rowRunner) storeRow(i int, row Row) error {
+	if rr.store == nil || !rr.cacheable[i] {
+		return nil
+	}
+	payload, err := encodeRow(row)
+	if err != nil {
+		return err
+	}
+	return rr.store.Put(resultstore.Record{Key: rr.keys[i], Stamp: rr.stamp, Payload: payload})
 }
 
 // reportProgress serializes the Progress hook so callers need no locking.

@@ -23,15 +23,16 @@ var DetRange = &Analyzer{
 // detRangePkgs are the output-bearing module packages in scope. Packages
 // outside the module (the test fixtures) are always in scope.
 var detRangePkgs = map[string]bool{
-	"mithril":                     true,
-	"mithril/internal/expspec":    true,
-	"mithril/internal/stats":      true,
-	"mithril/internal/trace":      true,
-	"mithril/internal/mitigation": true,
-	"mithril/internal/attack":     true,
-	"mithril/cmd/mithrilsim":      true,
-	"mithril/cmd/benchgate":       true,
-	"mithril/cmd/mithrilvet":      true,
+	"mithril":                      true,
+	"mithril/internal/expspec":     true,
+	"mithril/internal/resultstore": true,
+	"mithril/internal/stats":       true,
+	"mithril/internal/trace":       true,
+	"mithril/internal/mitigation":  true,
+	"mithril/internal/attack":      true,
+	"mithril/cmd/mithrilsim":       true,
+	"mithril/cmd/benchgate":        true,
+	"mithril/cmd/mithrilvet":       true,
 }
 
 func inDetRangeScope(pkgPath string) bool {
