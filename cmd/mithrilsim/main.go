@@ -32,13 +32,18 @@
 //	safety    attack sweep: bit-flip verdicts per scheme
 //	all       everything above
 //	run       execute an experiment spec: run <spec.json | shipped-name>
+//	          (-workers URLS or -spawn N fans the grid out across a
+//	          worker fleet; output is byte-identical to a local run)
 //	list      list the shipped experiment specs
 //	schemes   list the open mitigation-scheme registry
 //	workloads list the open workload registry (and the trace:<path> form)
 //	attacks   list the open attack-pattern registry
+//	          (schemes/workloads/attacks read a remote fleet's catalog
+//	          with -server HOST:PORT)
 //	diff      run a spec and diff its golden-format output against a file:
 //	          diff <spec.json | shipped-name> <golden.txt>
-//	serve     HTTP service: POST /run streams a spec's rows as NDJSON
+//	serve     HTTP service: POST /v1/run streams a spec's rows as NDJSON;
+//	          -coordinator fronts a -workers fleet (or -spawn local ones)
 //	store     result-store maintenance: store <stats|gc|verify> (-store DIR)
 //	version   print the result-store schema version and registry stamp
 //
@@ -71,13 +76,17 @@ import (
 
 // env carries the parsed global flags into command handlers.
 type env struct {
-	full     bool
-	flipTH   int
-	jobs     int
-	format   string
-	timeout  time.Duration
-	addr     string
-	storeDir string
+	full        bool
+	flipTH      int
+	jobs        int
+	format      string
+	timeout     time.Duration
+	addr        string
+	storeDir    string
+	workers     string // -workers: comma-separated worker base URLs
+	spawn       int    // -spawn: local worker processes to start
+	coordinator bool   // -coordinator: serve as fleet front-end
+	server      string // -server: remote mithrilsim to introspect
 	// store is the opened -store directory (nil without the flag): every
 	// sweep consults it before simulating a row and writes rows back, so
 	// re-running an interrupted sweep simulates only the missing rows.
@@ -96,9 +105,10 @@ func (e env) scale() mithril.Scale {
 
 // engine builds the Engine every command runs on: the -jobs worker count
 // plus live progress on stderr (when it is a terminal) under the given
-// label.
-func (e env) engine(label string) *mithril.Engine {
+// label; extra options (a run's -workers fan-out) stack on top.
+func (e env) engine(label string, extra ...mithril.EngineOption) *mithril.Engine {
 	opts := []mithril.EngineOption{}
+	opts = append(opts, extra...)
 	if e.jobs != 0 {
 		opts = append(opts, mithril.WithJobs(e.jobs))
 	}
@@ -192,6 +202,10 @@ func run() int {
 	timeout := flag.Duration("timeout", 0, "abort the whole invocation after this duration (0 = none)")
 	addr := flag.String("addr", "localhost:8377", "listen address for the serve command")
 	storeDir := flag.String("store", "", "content-addressed result store directory: sweep rows already stored are served instead of re-simulated, fresh rows are written back (maintain with `mithrilsim store`)")
+	workers := flag.String("workers", "", "comma-separated worker base URLs: run fans the grid out across the fleet; serve -coordinator fronts it")
+	spawn := flag.Int("spawn", 0, "spawn N local worker processes as the fleet (single-machine fan-out; implies a coordinator role for run/serve)")
+	coordinator := flag.Bool("coordinator", false, "serve as a fleet coordinator (uses -workers, or spawns -spawn/2 local workers)")
+	server := flag.String("server", "", "remote mithrilsim base URL: schemes/workloads/attacks read the fleet's catalog instead of the local registries")
 	flag.Usage = usage
 	if len(os.Args) < 2 {
 		flag.Usage()
@@ -217,7 +231,8 @@ func run() int {
 		pos = append(pos, rest[0])
 		rest = rest[1:]
 	}
-	e := env{full: *full, flipTH: *flipTH, jobs: *jobs, format: *format, timeout: *timeout, addr: *addr, storeDir: *storeDir}
+	e := env{full: *full, flipTH: *flipTH, jobs: *jobs, format: *format, timeout: *timeout, addr: *addr, storeDir: *storeDir,
+		workers: *workers, spawn: *spawn, coordinator: *coordinator, server: *server}
 
 	// Open the -store directory once for the whole invocation; Close
 	// (deferred) finalizes the active segment even when the command
@@ -360,12 +375,24 @@ func safetyCmd(ctx context.Context, e env, _ []string) error {
 }
 
 // runCmd executes an arbitrary experiment spec at the spec's own scale.
+// With -workers (an existing fleet) or -spawn N (freshly started local
+// worker processes), the grid fans out across the fleet instead of
+// simulating in-process; output is byte-identical either way.
 func runCmd(ctx context.Context, e env, args []string) error {
 	sp, err := shippedSpec(args[0])
 	if err != nil {
 		return err
 	}
-	res, err := e.engine(sp.Name).RunSpec(ctx, sp)
+	var extra []mithril.EngineOption
+	if e.fleetConfigured() {
+		fleet, shutdown, err := e.fleet(ctx)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		extra = append(extra, mithril.WithWorkers(fleet))
+	}
+	res, err := e.engine(sp.Name, extra...).RunSpec(ctx, sp)
 	if err != nil {
 		return err
 	}
@@ -392,19 +419,41 @@ func listCmd(_ context.Context, e env, _ []string) error {
 }
 
 // schemesCmd prints the open mitigation registry, one sorted name per
-// line — the same inventory spec validation and the serve /schemes
+// line — the same inventory spec validation and the serve catalog
 // endpoint use, so CI can diff it against the README's scenario catalog.
-func schemesCmd(_ context.Context, _ env, _ []string) error {
-	for _, n := range mithril.SchemeNames() {
+// With -server it prints the remote fleet's registry instead.
+func schemesCmd(ctx context.Context, e env, _ []string) error {
+	names := mithril.SchemeNames()
+	if e.server != "" {
+		cat, err := fetchCatalog(ctx, e.server)
+		if err != nil {
+			return err
+		}
+		names = cat.Schemes
+	}
+	for _, n := range names {
 		fmt.Println(n)
 	}
 	return nil
 }
 
 // workloadsCmd prints the open workload registry with descriptions, plus
-// the trace:<path> replay form every workload axis accepts.
-func workloadsCmd(_ context.Context, _ env, _ []string) error {
+// the trace:<path> replay form every workload axis accepts. With -server
+// it prints the remote fleet's registry instead (no trace row: trace
+// replays are not accepted over HTTP).
+func workloadsCmd(ctx context.Context, e env, _ []string) error {
 	t := stats.NewTable("name", "description")
+	if e.server != "" {
+		cat, err := fetchCatalog(ctx, e.server)
+		if err != nil {
+			return err
+		}
+		for _, w := range cat.Workloads {
+			t.Add(w.Name, w.Desc)
+		}
+		fmt.Print(t)
+		return nil
+	}
 	for _, w := range mithril.WorkloadCatalog() {
 		t.Add(w.Name, w.Desc)
 	}
@@ -414,8 +463,20 @@ func workloadsCmd(_ context.Context, _ env, _ []string) error {
 }
 
 // attacksCmd prints the open attack-pattern registry with descriptions.
-func attacksCmd(_ context.Context, _ env, _ []string) error {
+// With -server it prints the remote fleet's registry instead.
+func attacksCmd(ctx context.Context, e env, _ []string) error {
 	t := stats.NewTable("name", "description")
+	if e.server != "" {
+		cat, err := fetchCatalog(ctx, e.server)
+		if err != nil {
+			return err
+		}
+		for _, a := range cat.Attacks {
+			t.Add(a.Name, a.Desc)
+		}
+		fmt.Print(t)
+		return nil
+	}
 	for _, a := range mithril.AttackCatalog() {
 		t.Add(a.Name, a.Desc)
 	}

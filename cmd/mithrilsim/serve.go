@@ -2,37 +2,51 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 	"os"
-	"strconv"
-	"strings"
 	"time"
 
-	"mithril"
-	"mithril/internal/expspec"
-	"mithril/internal/trace"
+	"mithril/internal/distrib"
+	"mithril/internal/serveapi"
 )
 
-// maxSpecBytes bounds a POSTed spec body; real specs are a few hundred
-// bytes, so anything near the limit is a mistake or an attack, not a grid.
-const maxSpecBytes = 1 << 20
-
-// serveCmd runs the HTTP service: the first service-shaped consumer of the
-// Engine API. POST /run takes a spec document and streams its output rows
-// back as NDJSON while the sweep executes; a client that disconnects
-// mid-sweep cancels the workers through the request context. GET /healthz
-// reports readiness, GET /schemes the open mitigation registry (sorted
-// names), and GET /workloads and GET /attacks the open workload and
-// attack-pattern registries (sorted {name, desc} objects).
+// serveCmd runs the HTTP service: the /v1 API (POST /v1/run streaming
+// NDJSON rows, GET /v1/healthz, GET /v1/catalog) plus the deprecated
+// bare aliases of the original surface. By default the server is a
+// worker: /v1/run also accepts coordinator shard requests. With
+// -coordinator (over a -workers fleet, or -spawn N / 2 freshly spawned
+// local workers) it becomes a fleet coordinator instead, fanning every
+// bare sweep out across its worker peers and rejecting shards.
+// A client that disconnects mid-sweep cancels the work through the
+// request context.
 func serveCmd(ctx context.Context, e env, _ []string) error {
+	cfg := serveapi.Config{Jobs: e.jobs, Store: e.store}
+	role := "worker"
+	if e.coordinator || e.fleetConfigured() {
+		fleet, shutdown, err := e.fleet(ctx)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		coord, err := distrib.New(fleet, distrib.Options{})
+		if err != nil {
+			return err
+		}
+		cfg.Coordinator = coord
+		role = fmt.Sprintf("coordinator for %d workers", len(fleet))
+	}
+	// Bind before serving so -addr :0 (tests, spawned local workers)
+	// reports the actual port: the parent process parses the announce
+	// line off stderr.
+	ln, err := net.Listen("tcp", e.addr)
+	if err != nil {
+		return err
+	}
 	srv := &http.Server{
-		Addr:    e.addr,
-		Handler: newServeHandler(e),
+		Handler: serveapi.NewHandler(cfg),
 		// Root every request context in the CLI's signal/timeout context:
 		// Ctrl-C cancels in-flight sweeps exactly like a client disconnect.
 		BaseContext: func(net.Listener) context.Context { return ctx },
@@ -47,167 +61,17 @@ func serveCmd(ctx context.Context, e env, _ []string) error {
 		defer cancel()
 		_ = srv.Shutdown(shutCtx)
 	}()
-	fmt.Fprintf(os.Stderr, "mithrilsim: serving on http://%s (POST /run)\n", e.addr)
-	err := srv.ListenAndServe()
+	fmt.Fprintf(os.Stderr, "mithrilsim: serving on http://%s (POST /v1/run, %s)\n", ln.Addr(), role)
+	err = srv.Serve(ln)
 	if errors.Is(err, http.ErrServerClosed) {
 		return nil
 	}
 	return err
 }
 
-// newServeHandler builds the service mux. Split from serveCmd so tests
-// drive it through httptest without binding the CLI's listen address.
+// newServeHandler builds the service handler for the env's resources.
+// Split from serveCmd so tests drive it through httptest without binding
+// the CLI's listen address.
 func newServeHandler(e env) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		// The stamp lets a client predict cache behaviour: rows stored
-		// under another stamp (schema bump, different scheme registry)
-		// will re-simulate rather than hit.
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(map[string]any{
-			"status": "ok",
-			"stamp":  mithril.ResultStoreStamp(),
-			"store":  e.store != nil,
-		})
-	})
-	mux.HandleFunc("/schemes", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(mithril.SchemeNames())
-	})
-	mux.HandleFunc("/workloads", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(mithril.WorkloadCatalog())
-	})
-	mux.HandleFunc("/attacks", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(mithril.AttackCatalog())
-	})
-	mux.HandleFunc("/run", func(w http.ResponseWriter, r *http.Request) { handleRun(e, w, r) })
-	return mux
-}
-
-// ndjsonError is the terminal error line of an aborted stream. NDJSON has
-// no trailer channel, so an error after rows have been sent arrives as a
-// final object with an "error" key — consumers distinguish it from data
-// rows by that key, and by the connection closing right after.
-type ndjsonError struct {
-	Error string `json:"error"`
-}
-
-// ndjsonSummary is the terminal line of a completed stream: the row
-// count and its cached/simulated split. Consumers distinguish it from
-// data rows by the "summary" key, mirroring the "error" convention; the
-// same split rides the X-Mithril-Rows-Cached/-Simulated trailers for
-// clients that consume trailers. Without a result store every row counts
-// as simulated.
-type ndjsonSummary struct {
-	Summary rowSplit `json:"summary"`
-}
-
-type rowSplit struct {
-	Rows      int `json:"rows"`
-	Cached    int `json:"cached"`
-	Simulated int `json:"simulated"`
-}
-
-// Trailer names carrying the per-request cache-effectiveness split.
-const (
-	trailerCached    = "X-Mithril-Rows-Cached"
-	trailerSimulated = "X-Mithril-Rows-Simulated"
-)
-
-// handleRun parses the POSTed spec, executes it on the request's Engine,
-// and streams each completed row as one NDJSON line. The request context
-// is the cancellation root: client disconnect (or server shutdown) stops
-// the sweep's workers mid-simulation.
-func handleRun(e env, w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST a spec document to /run", http.StatusMethodNotAllowed)
-		return
-	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
-	if err != nil {
-		http.Error(w, fmt.Sprintf("reading spec: %v", err), http.StatusBadRequest)
-		return
-	}
-	sp, err := expspec.Parse(body)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	// trace:<path> workloads read server-local files; accepting them from
-	// the network would let any client probe the server's filesystem (and
-	// read fragments of it back through parse errors). Trace replays are
-	// a CLI/library feature.
-	for _, name := range sp.Axes.Workloads {
-		if strings.HasPrefix(name, trace.TracePrefix) {
-			http.Error(w, fmt.Sprintf("workload %q: trace-file workloads are not accepted over HTTP (the path would be read on the server); run the spec with the mithrilsim CLI instead", name),
-				http.StatusBadRequest)
-			return
-		}
-	}
-	sc, err := sp.Scale.Resolve()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.Header().Set("X-Spec-Name", sp.Name)
-	// Declared before the body starts, set after the stream completes:
-	// the cache-effectiveness split arrives as HTTP trailers (and as the
-	// final NDJSON summary line, for clients that never look at trailers).
-	w.Header().Set("Trailer", trailerCached+", "+trailerSimulated)
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	// No terminal progress renderer here: concurrent requests would
-	// interleave redraw lines (labelled with client-supplied spec names)
-	// on the operator's terminal. The -jobs override comes in through
-	// WithJobs; otherwise the spec's resolved scale governs. The shared
-	// result store (opened once at startup) rides in per request: rows
-	// any earlier request — or an earlier process — already simulated
-	// stream back immediately.
-	var opts []mithril.EngineOption
-	if e.jobs != 0 {
-		opts = append(opts, mithril.WithJobs(e.jobs))
-	}
-	if e.store != nil {
-		opts = append(opts, mithril.WithResultStore(e.store))
-	}
-	eng := mithril.NewEngine(mithril.DDR5(), opts...)
-	var split rowSplit
-	for row, err := range eng.StreamAt(r.Context(), sp, sc) {
-		if err != nil {
-			// Rows may already be on the wire; the status is committed.
-			// Emit the NDJSON error line unless the client is the reason
-			// we are stopping (its connection is gone anyway).
-			if r.Context().Err() == nil {
-				_ = enc.Encode(ndjsonError{Error: err.Error()})
-			}
-			return
-		}
-		vals, err := sp.RowValues(sc, row)
-		if err != nil {
-			_ = enc.Encode(ndjsonError{Error: err.Error()})
-			return
-		}
-		// Echo the grid position so streaming consumers can reassemble
-		// deterministic order without re-deriving the expansion.
-		vals["row"] = row.Index
-		if err := enc.Encode(vals); err != nil {
-			return // client went away mid-write
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
-		split.Rows++
-		if row.Cached {
-			split.Cached++
-		} else {
-			split.Simulated++
-		}
-	}
-	_ = enc.Encode(ndjsonSummary{Summary: split})
-	w.Header().Set(trailerCached, strconv.Itoa(split.Cached))
-	w.Header().Set(trailerSimulated, strconv.Itoa(split.Simulated))
+	return serveapi.NewHandler(serveapi.Config{Jobs: e.jobs, Store: e.store})
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"iter"
 
+	"mithril/internal/distrib"
 	"mithril/internal/expspec"
 	"mithril/internal/sim"
 	"mithril/internal/sweep"
@@ -42,6 +43,8 @@ type Engine struct {
 	progress  ProgressFunc
 	baselines *expspec.BaselineCache
 	store     ResultStore
+	coord     *distrib.Coordinator
+	coordErr  error
 }
 
 // EngineOption configures an Engine at construction.
@@ -86,6 +89,23 @@ func WithBaselineCache() EngineOption {
 // RowsCached/RowsSimulated report the split.
 func WithResultStore(st ResultStore) EngineOption {
 	return func(e *Engine) { e.store = st }
+}
+
+// WithWorkers fans every spec execution out across mithrilsim serve
+// worker peers (base URLs, e.g. "http://host:8377"): the grid is
+// partitioned into shards, shards stream back over POST /v1/run, failed
+// or disconnected shards are re-dispatched against surviving workers,
+// and rows merge back in deterministic grid order — RunSpec output is
+// byte-identical to a local run. Composes with WithResultStore (the
+// coordinator consults the store before dispatching and writes worker
+// rows back, so a retried row is never simulated twice) and WithJobs
+// (applied to rows the coordinator must run locally, i.e. trace-file
+// workloads that cannot travel). An empty or malformed worker list
+// surfaces as an error from the first RunSpec/Stream call.
+func WithWorkers(workers []string) EngineOption {
+	return func(e *Engine) {
+		e.coord, e.coordErr = distrib.New(workers, distrib.Options{})
+	}
 }
 
 // NewEngine builds an Engine for the DRAM parameter set p (the default
@@ -152,6 +172,12 @@ func (e *Engine) RunSpec(ctx context.Context, sp *ExperimentSpec) (*ExperimentRe
 // RunSpecAt is RunSpec at an explicit scale (the CLI's figure commands
 // pass their quick/full scale over the spec's own).
 func (e *Engine) RunSpecAt(ctx context.Context, sp *ExperimentSpec, sc Scale) (*ExperimentResult, error) {
+	if e.coordErr != nil {
+		return nil, e.coordErr
+	}
+	if e.coord != nil {
+		return e.coord.RunAt(ctx, sp, e.applyJobs(sc), e.execOptions())
+	}
 	return sp.RunAtContext(ctx, e.applyJobs(sc), e.execOptions())
 }
 
@@ -172,6 +198,13 @@ func (e *Engine) Stream(ctx context.Context, sp *ExperimentSpec) iter.Seq2[Exper
 
 // StreamAt is Stream at an explicit scale.
 func (e *Engine) StreamAt(ctx context.Context, sp *ExperimentSpec, sc Scale) iter.Seq2[ExperimentResultRow, error] {
+	if e.coordErr != nil {
+		err := e.coordErr
+		return func(yield func(ExperimentResultRow, error) bool) { yield(ExperimentResultRow{}, err) }
+	}
+	if e.coord != nil {
+		return e.coord.StreamAt(ctx, sp, e.applyJobs(sc), e.execOptions())
+	}
 	return sp.StreamAt(ctx, e.applyJobs(sc), e.execOptions())
 }
 

@@ -1,0 +1,120 @@
+package distrib
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mithril/internal/expspec"
+)
+
+// RunPath is the versioned worker endpoint a coordinator POSTs shards to.
+const RunPath = "/v1/run"
+
+// APIError is the uniform /v1 error envelope body: every non-200 response
+// and every terminal NDJSON error record carries one under an "error"
+// key. Code is a stable machine-readable slug; Message is for humans.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *APIError) Error() string { return e.Message }
+
+// Error codes the serve API emits. Coordinators treat bad_request,
+// conflict, and run_failed as permanent (another worker will fail the
+// same way); anything else — and any transport failure — is retryable.
+const (
+	CodeBadRequest  = "bad_request" // malformed request, unknown spec field, bad subset
+	CodeConflict    = "conflict"    // stamp or grid mismatch: coordinator/worker version drift
+	CodeRunFailed   = "run_failed"  // a simulation failed mid-stream (deterministic)
+	CodeUnavailable = "unavailable" // worker shutting down or overloaded
+	CodeNotFound    = "not_found"   // unknown path
+	CodeMethod      = "bad_method"  // wrong HTTP method
+)
+
+// WireScale is a resolved expspec.Scale on the wire. Jobs is deliberately
+// absent: parallelism is a per-process resource, so each worker applies
+// its own; every other field shapes row values and must transfer exactly.
+type WireScale struct {
+	Cores        int    `json:"cores"`
+	InstrPerCore int64  `json:"instr_per_core"`
+	FlipTHs      []int  `json:"flipths,omitempty"`
+	Seed         uint64 `json:"seed"`
+	TimeScale    int    `json:"time_scale"`
+}
+
+// ToWire converts a resolved scale for a shard request.
+func ToWire(sc expspec.Scale) WireScale {
+	return WireScale{
+		Cores:        sc.Cores,
+		InstrPerCore: sc.InstrPerCore,
+		FlipTHs:      sc.FlipTHs,
+		Seed:         sc.Seed,
+		TimeScale:    sc.TimeScale,
+	}
+}
+
+// Scale reconstitutes the execution scale on a worker, with the worker's
+// own jobs setting applied.
+func (w WireScale) Scale(jobs int) expspec.Scale {
+	return expspec.Scale{
+		Cores:        w.Cores,
+		InstrPerCore: w.InstrPerCore,
+		FlipTHs:      w.FlipTHs,
+		Seed:         w.Seed,
+		TimeScale:    w.TimeScale,
+		Jobs:         jobs,
+	}
+}
+
+// ShardRequest asks a worker to execute an explicit row-index subset of a
+// spec's expanded grid. Its presence (the "spec" key) is what
+// distinguishes a shard POST to /v1/run from a bare spec document.
+type ShardRequest struct {
+	// Spec is the full spec document; the worker re-validates it.
+	Spec json.RawMessage `json:"spec"`
+	// Scale is the coordinator's resolved scale (never re-resolved from
+	// the spec's preset, which could drift across binaries).
+	Scale WireScale `json:"scale"`
+	// Rows are the grid indices to execute, in Expand order.
+	Rows []int `json:"rows"`
+	// Stamp is the coordinator's store stamp. A worker whose own stamp
+	// differs rejects the shard with CodeConflict: its registries would
+	// expand or simulate a different grid.
+	Stamp string `json:"stamp"`
+	// Grid is the coordinator's expanded row count, a cheap second
+	// drift guard on top of Stamp.
+	Grid int `json:"grid"`
+}
+
+// ShardSummary is the terminal record of a completed shard stream.
+type ShardSummary struct {
+	Rows      int `json:"rows"`
+	Cached    int `json:"cached"`
+	Simulated int `json:"simulated"`
+}
+
+// ShardRecord is one NDJSON line of a shard response: a data row (Point
+// set), the terminal summary, or a terminal error. Data rows carry the
+// store payload encoding (expspec.EncodeRowPayload), which round-trips
+// float64 exactly — the display projections the bare /run stream uses
+// drop columns and precision a merge cannot recover.
+type ShardRecord struct {
+	Row     int             `json:"row"`
+	Cached  bool            `json:"cached,omitempty"`
+	Point   json.RawMessage `json:"point,omitempty"`
+	Summary *ShardSummary   `json:"summary,omitempty"`
+	Error   *APIError       `json:"error,omitempty"`
+}
+
+// DecodeShardRow converts a data record back into an executed row.
+func DecodeShardRow(sp *expspec.Spec, grid int, rec ShardRecord) (expspec.Row, error) {
+	if rec.Row < 0 || rec.Row >= grid {
+		return expspec.Row{}, fmt.Errorf("distrib: worker sent row %d outside the %d-row grid", rec.Row, grid)
+	}
+	row := expspec.Row{Index: rec.Row, Cached: rec.Cached}
+	if !expspec.DecodeRowPayload(sp.Kind, rec.Point, &row) {
+		return expspec.Row{}, fmt.Errorf("distrib: worker sent an undecodable %s point for row %d", sp.Kind, rec.Row)
+	}
+	return row, nil
+}

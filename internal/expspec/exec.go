@@ -529,14 +529,24 @@ func (s *Spec) RunAt(sc Scale) (*Result, error) {
 // completion, and opts.Baselines shares unprotected runs across
 // executions. A nil opts behaves like RunAt.
 func (s *Spec) RunAtContext(ctx context.Context, sc Scale, opts *ExecOptions) (*Result, error) {
-	rr, err := s.newRowRunner(sc, opts)
+	rr, err := s.newRowRunner(sc, opts, nil)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := sweep.RunContext(ctx, sc.Jobs, len(rr.cells), rr.run)
+	rows, err := sweep.RunContext(ctx, sc.Jobs, len(rr.rows), rr.run)
 	if err != nil {
 		return nil, err
 	}
+	return s.NewResult(sc, rows)
+}
+
+// NewResult assembles completed rows into a Result. Rows must arrive in
+// the order the Result should emit them — grid order for a full run (a
+// distributed merge sorts by Row.Index before calling this) — and each
+// must carry the point matching the spec's kind; a row without one means
+// the caller mixed rows from a different spec or dropped a shard, which
+// is an error here rather than a panic at emission time.
+func (s *Spec) NewResult(sc Scale, rows []Row) (*Result, error) {
 	res := &Result{Spec: s, Scale: sc}
 	for _, row := range rows {
 		if row.Cached {
@@ -545,25 +555,40 @@ func (s *Spec) RunAtContext(ctx context.Context, sc Scale, opts *ExecOptions) (*
 			res.RowsSimulated++
 		}
 	}
+	missing := func(i int) error {
+		return fmt.Errorf("spec %q: row %d (grid index %d) has no %s point", s.Name, i, rows[i].Index, s.Kind)
+	}
 	switch s.Kind {
 	case Comparison:
 		res.Perf = make([]PerfPoint, len(rows))
 		for i, row := range rows {
+			if row.Perf == nil {
+				return nil, missing(i)
+			}
 			res.Perf[i] = *row.Perf
 		}
 	case SafetyKind:
 		res.Safety = make([]SafetyResult, len(rows))
 		for i, row := range rows {
+			if row.Safety == nil {
+				return nil, missing(i)
+			}
 			res.Safety[i] = *row.Safety
 		}
 	case ConfigGrid:
 		res.Grid = make([]Figure9Point, len(rows))
 		for i, row := range rows {
+			if row.Grid == nil {
+				return nil, missing(i)
+			}
 			res.Grid[i] = *row.Grid
 		}
 	case AdTHSweep:
 		res.AdTH = make([]Figure7Point, len(rows))
 		for i, row := range rows {
+			if row.AdTH == nil {
+				return nil, missing(i)
+			}
 			res.AdTH[i] = *row.AdTH
 		}
 	}
@@ -576,17 +601,35 @@ func (s *Spec) RunAtContext(ctx context.Context, sc Scale, opts *ExecOptions) (*
 // error when a cell fails or ctx is cancelled; breaking out of the range
 // cancels the remaining grid. All workers have exited when the range ends.
 func (s *Spec) StreamAt(ctx context.Context, sc Scale, opts *ExecOptions) iter.Seq2[Row, error] {
-	rr, err := s.newRowRunner(sc, opts)
+	seq, err := s.StreamRowsAt(ctx, sc, nil, opts)
 	if err != nil {
 		return func(yield func(Row, error) bool) { yield(Row{}, err) }
 	}
-	return func(yield func(Row, error) bool) {
-		for iv, err := range sweep.StreamContext(ctx, sc.Jobs, len(rr.cells), rr.run) {
+	return seq
+}
+
+// StreamRowsAt executes an explicit row-index subset of the expanded grid
+// — the shard a distributed worker is handed — yielding rows in
+// completion order with Row.Index holding the grid index. A nil subset
+// runs the full grid (StreamAt is exactly that). Unlike StreamAt, every
+// construction failure — invalid spec, out-of-range or duplicated subset
+// index, a workload that will not build — is returned before the first
+// yield, so a caller speaking a streaming wire protocol can reject the
+// request cleanly instead of discovering the error after committing to a
+// 200 and an NDJSON header.
+func (s *Spec) StreamRowsAt(ctx context.Context, sc Scale, rows []int, opts *ExecOptions) (iter.Seq2[Row, error], error) {
+	rr, err := s.newRowRunner(sc, opts, rows)
+	if err != nil {
+		return nil, err
+	}
+	seq := func(yield func(Row, error) bool) {
+		for iv, err := range sweep.StreamContext(ctx, sc.Jobs, len(rr.rows), rr.run) {
 			if !yield(iv.V, err) || err != nil {
 				return
 			}
 		}
 	}
+	return seq, nil
 }
 
 // seeds resolves the seed axis (empty: the scale's single seed).
@@ -611,14 +654,67 @@ type seedSet struct {
 	attacks map[string]trace.Workload // attacks axis, by registry name
 }
 
+// needSet records which seeds, (seed, workload) pairs, and (seed, attack)
+// pairs a row subset touches, so newRowRunner prebuilds only the state
+// those rows consume. Adversarial cells contribute nothing beyond their
+// seed — their workload is built inline per row.
+type needSet struct {
+	seeds     map[uint64]bool
+	workloads map[seedName]bool // workload cells (comparison, configgrid)
+	attacks   map[seedName]bool // attack cells (comparison attacks axis, safety)
+	attackAny map[string]bool   // attacks named by any subset cell, any seed
+}
+
+type seedName struct {
+	seed uint64
+	name string
+}
+
+func newNeedSet(cells []Cell, rows []int) *needSet {
+	n := &needSet{
+		seeds:     map[uint64]bool{},
+		workloads: map[seedName]bool{},
+		attacks:   map[seedName]bool{},
+		attackAny: map[string]bool{},
+	}
+	for _, i := range rows {
+		c := cells[i]
+		n.seeds[c.Seed] = true
+		switch {
+		case c.Adversarial:
+		case c.Attack != "":
+			n.attacks[seedName{c.Seed, c.Attack}] = true
+			n.attackAny[c.Attack] = true
+		case c.Workload != "":
+			n.workloads[seedName{c.Seed, c.Workload}] = true
+		}
+	}
+	return n
+}
+
+func (n *needSet) seed(seed uint64) bool                  { return n.seeds[seed] }
+func (n *needSet) workload(seed uint64, name string) bool { return n.workloads[seedName{seed, name}] }
+func (n *needSet) attack(seed uint64, name string) bool   { return n.attacks[seedName{seed, name}] }
+func (n *needSet) anyAttack(name string) bool             { return n.attackAny[name] }
+
 // rowRunner executes one spec at one scale, one output row at a time: the
-// shared unit behind RunAtContext (batch, grid order) and StreamAt
-// (completion order). Precomputed per-seed state keeps row jobs pure.
+// shared unit behind RunAtContext (batch, grid order), StreamAt
+// (completion order), and StreamRowsAt (an explicit row-index subset —
+// the shard a distributed worker executes). Precomputed per-seed state
+// keeps row jobs pure.
 type rowRunner struct {
 	spec  *Spec
 	sc    Scale
 	r     *runner
 	cells []Cell
+	// rows maps job index to grid index: the row-index subset a shard
+	// executes, or the identity over every cell for a full run. Per-kind
+	// state (workloads, attacks, baselines) is prebuilt only for the cells
+	// these rows name, so a shard never touches inputs it will not
+	// simulate — in particular, a worker handed a shard of a spec that
+	// also names trace-file workloads never opens those files unless the
+	// shard includes their rows.
+	rows []int
 
 	sets      map[uint64]*seedSet       // comparison
 	workloads map[uint64]trace.Workload // configgrid
@@ -639,8 +735,11 @@ type rowRunner struct {
 	baseline func(ctx context.Context, seed uint64, name string, w trace.Workload) (sim.Result, error) // adth
 }
 
-// newRowRunner validates the spec and binds the per-kind state.
-func (s *Spec) newRowRunner(sc Scale, opts *ExecOptions) (*rowRunner, error) {
+// newRowRunner validates the spec and binds the per-kind state for the
+// named grid rows (nil: every expanded cell). Subset indices must be
+// in-range and free of duplicates — a duplicated row would double-count
+// in every consumer and a wild index has no cell to realize.
+func (s *Spec) newRowRunner(sc Scale, opts *ExecOptions, rows []int) (*rowRunner, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -651,20 +750,41 @@ func (s *Spec) newRowRunner(sc Scale, opts *ExecOptions) (*rowRunner, error) {
 		cells: s.Expand(sc),
 		onRow: opts.progress(),
 	}
-	rr.total = len(rr.cells)
+	if rows == nil {
+		rr.rows = make([]int, len(rr.cells))
+		for i := range rr.rows {
+			rr.rows[i] = i
+		}
+	} else {
+		seen := make(map[int]bool, len(rows))
+		for _, i := range rows {
+			if i < 0 || i >= len(rr.cells) {
+				return nil, fmt.Errorf("spec %q: row %d out of range (grid has %d rows)", s.Name, i, len(rr.cells))
+			}
+			if seen[i] {
+				return nil, fmt.Errorf("spec %q: duplicate row %d in subset", s.Name, i)
+			}
+			seen[i] = true
+		}
+		rr.rows = append([]int(nil), rows...)
+	}
+	rr.total = len(rr.rows)
 	if st := opts.store(); st != nil {
 		rr.store = st
 		rr.stamp = StoreStamp()
 		rr.keys = make([]resultstore.Key, len(rr.cells))
 		rr.cacheable = make([]bool, len(rr.cells))
-		for i, c := range rr.cells {
-			key, ok, err := s.cellKey(sc, c, rr.stamp)
+		for _, i := range rr.rows {
+			key, ok, err := s.cellKey(sc, rr.cells[i], rr.stamp)
 			if err != nil {
 				return nil, err
 			}
 			rr.keys[i], rr.cacheable[i] = key, ok
 		}
 	}
+	// The per-kind state below is prebuilt only for the subset's cells:
+	// needs records which (seed, workload/attack) pairs the subset touches.
+	needs := newNeedSet(rr.cells, rr.rows)
 	// buildNamed resolves one workloads-axis name. Trace replays are
 	// seed-independent, so one build (one file parse) serves every seed.
 	traceShared := map[string]trace.Workload{}
@@ -692,6 +812,9 @@ func (s *Spec) newRowRunner(sc Scale, opts *ExecOptions) (*rowRunner, error) {
 			}
 			rr.sets[seed] = set
 			for _, name := range s.Axes.Workloads {
+				if !needs.workload(seed, name) {
+					continue
+				}
 				switch name {
 				case normalSet:
 					set.normals = normalWorkloads(sc, seed)
@@ -706,6 +829,9 @@ func (s *Spec) newRowRunner(sc Scale, opts *ExecOptions) (*rowRunner, error) {
 				}
 			}
 			for _, name := range s.Axes.Attacks {
+				if !needs.attack(seed, name) {
+					continue
+				}
 				w, err := attackWorkload(sc, seed, name)
 				if err != nil {
 					return nil, err
@@ -715,10 +841,13 @@ func (s *Spec) newRowRunner(sc Scale, opts *ExecOptions) (*rowRunner, error) {
 		}
 	case SafetyKind:
 		rr.mapper = mc.NewAddressMapper(sc.Params())
-		// Trial-build every pattern (sans oracle) so bad coordinates —
-		// an out-of-bank multi:<n>, say — fail here, before the sweep,
-		// exactly as comparison specs fail in attackWorkload.
+		// Trial-build every subset pattern (sans oracle) so bad
+		// coordinates — an out-of-bank multi:<n>, say — fail here, before
+		// the sweep, exactly as comparison specs fail in attackWorkload.
 		for _, a := range s.Axes.Attacks {
+			if !needs.anyAttack(a) {
+				continue
+			}
 			if _, err := attack.Build(a, attack.Params{Mapper: rr.mapper}); err != nil {
 				return nil, err
 			}
@@ -726,6 +855,9 @@ func (s *Spec) newRowRunner(sc Scale, opts *ExecOptions) (*rowRunner, error) {
 	case ConfigGrid:
 		rr.workloads = map[uint64]trace.Workload{}
 		for _, seed := range s.seeds(sc) {
+			if !needs.seed(seed) {
+				continue
+			}
 			w, err := buildNamed(s.Axes.Workloads[0], seed)
 			if err != nil {
 				return nil, err
@@ -749,10 +881,12 @@ func (s *Spec) newRowRunner(sc Scale, opts *ExecOptions) (*rowRunner, error) {
 	return rr, nil
 }
 
-// run computes output row i. It is safe for concurrent invocation across
-// distinct i; per-row scheme instances are built fresh, exactly as the
-// pre-streaming executor built one per simulation cell.
-func (rr *rowRunner) run(ctx context.Context, i int) (Row, error) {
+// run computes the j-th subset row (grid row rr.rows[j]; the emitted
+// Row.Index is always the grid index). It is safe for concurrent
+// invocation across distinct j; per-row scheme instances are built fresh,
+// exactly as the pre-streaming executor built one per simulation cell.
+func (rr *rowRunner) run(ctx context.Context, j int) (Row, error) {
+	i := rr.rows[j]
 	row := Row{Index: i, Cell: rr.cells[i]}
 	if rr.cachedRow(i, &row) {
 		rr.reportProgress()

@@ -76,6 +76,47 @@ func (s *Spec) cellKey(sc Scale, c Cell, stamp string) (key resultstore.Key, cac
 	return resultstore.HashComponents(comp), true, nil
 }
 
+// StoreKeys derives the content address of every expanded grid row at
+// once: the stamp the keys embed, one key per cell in Expand order, and
+// the parallel cacheable mask (false marks rows a store must never serve,
+// i.e. trace-replay workloads). This is the coordinator's view of the
+// store — it lets a distributed merge probe for finished rows and write
+// back rows received from workers without re-deriving cell hashing.
+func (s *Spec) StoreKeys(sc Scale) (stamp string, keys []resultstore.Key, cacheable []bool, err error) {
+	if err := s.Validate(); err != nil {
+		return "", nil, nil, err
+	}
+	stamp = StoreStamp()
+	cells := s.Expand(sc)
+	keys = make([]resultstore.Key, len(cells))
+	cacheable = make([]bool, len(cells))
+	for i, c := range cells {
+		key, ok, err := s.cellKey(sc, c, stamp)
+		if err != nil {
+			return "", nil, nil, err
+		}
+		keys[i], cacheable[i] = key, ok
+	}
+	return stamp, keys, cacheable, nil
+}
+
+// EncodeRowPayload serializes a completed row's point for the wire or the
+// store. The encoding is the result store's row payload — JSON round-trips
+// float64 exactly, so a decoded row renders byte-identically to the
+// locally simulated one in every output format including golden. This is
+// what a distributed worker sends per row (lossy display projections like
+// RowValues drop columns the spec doesn't emit, so they cannot carry a
+// row between processes).
+func EncodeRowPayload(row Row) (json.RawMessage, error) { return encodeRow(row) }
+
+// DecodeRowPayload deserializes a payload produced by EncodeRowPayload
+// into row's point field for the kind. ok is false on any mismatch —
+// undecodable payload, wrong or missing point — which receivers treat as
+// the row not having been delivered.
+func DecodeRowPayload(kind Kind, payload json.RawMessage, row *Row) bool {
+	return decodeRow(kind, payload, row)
+}
+
 // storedRow is the serialized row payload: exactly one pointer set,
 // matching the spec kind, like Row itself. encoding/json round-trips
 // float64 exactly, so a decoded row renders byte-identically to the

@@ -1,0 +1,405 @@
+package serveapi_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mithril/internal/distrib"
+	"mithril/internal/expspec"
+	"mithril/internal/resultstore"
+	"mithril/internal/serveapi"
+	"mithril/internal/testutil"
+)
+
+const testSpec = `{
+  "name": "api-test",
+  "kind": "comparison",
+  "scale": {"preset": "quick", "cores": 2, "instr_per_core": 400},
+  "axes": {
+    "schemes": ["none", "mithril"],
+    "flipths": [6250],
+    "workloads": ["mix-high"]
+  }
+}`
+
+func newServer(t *testing.T, cfg serveapi.Config) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(serveapi.NewHandler(cfg))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// decodeEnvelope asserts a response is the uniform error envelope and
+// returns its code and message.
+func decodeEnvelope(t *testing.T, resp *http.Response) (code, msg string) {
+	t.Helper()
+	defer resp.Body.Close()
+	var env struct {
+		Error *struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error == nil {
+		t.Fatalf("response is not the error envelope (decode err %v)", err)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("envelope missing code or message: %+v", env.Error)
+	}
+	return env.Error.Code, env.Error.Message
+}
+
+func TestV1Healthz(t *testing.T) {
+	ts := newServer(t, serveapi.Config{Store: resultstore.NewMem()})
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Status string `json:"status"`
+		API    string `json:"api"`
+		Stamp  string `json:"stamp"`
+		Store  bool   `json:"store"`
+		Role   string `json:"role"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.API != "v1" || health.Role != "worker" ||
+		!health.Store || health.Stamp != expspec.StoreStamp() {
+		t.Errorf("healthz = %+v, want ok/v1/worker/store=true/current stamp", health)
+	}
+}
+
+func TestV1HealthzCoordinatorRole(t *testing.T) {
+	coord, err := distrib.New([]string{"http://w1:1", "http://w2:1"}, distrib.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newServer(t, serveapi.Config{Coordinator: coord})
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Role    string   `json:"role"`
+		Workers []string `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Role != "coordinator" || len(health.Workers) != 2 {
+		t.Errorf("healthz = %+v, want coordinator role with 2 workers", health)
+	}
+}
+
+func TestV1Catalog(t *testing.T) {
+	ts := newServer(t, serveapi.Config{})
+	resp, err := http.Get(ts.URL + "/v1/catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cat struct {
+		Schemes   []string `json:"schemes"`
+		Workloads []struct {
+			Name string `json:"name"`
+			Desc string `json:"desc"`
+		} `json:"workloads"`
+		Attacks []struct {
+			Name string `json:"name"`
+			Desc string `json:"desc"`
+		} `json:"attacks"`
+		Stamp string `json:"stamp"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cat); err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Schemes) == 0 || cat.Schemes[0] != "blockhammer" {
+		t.Errorf("catalog schemes = %v, want the sorted registry", cat.Schemes)
+	}
+	if len(cat.Workloads) == 0 || cat.Workloads[0].Name != "fft" || cat.Workloads[0].Desc == "" {
+		t.Errorf("catalog workloads = %v, want described registry entries", cat.Workloads)
+	}
+	if len(cat.Attacks) == 0 || cat.Attacks[0].Name != "blockhammer-adversarial" {
+		t.Errorf("catalog attacks = %v, want the sorted registry", cat.Attacks)
+	}
+	if cat.Stamp != expspec.StoreStamp() {
+		t.Errorf("catalog stamp = %q, want the current registry stamp", cat.Stamp)
+	}
+}
+
+// TestLegacyAliasesDeprecated pins the migration contract: every bare
+// legacy path still answers with its original shape, carrying the
+// Deprecation marker and a successor link.
+func TestLegacyAliasesDeprecated(t *testing.T) {
+	ts := newServer(t, serveapi.Config{})
+	for path, successor := range map[string]string{
+		"/healthz":   "/v1/healthz",
+		"/schemes":   "/v1/catalog",
+		"/workloads": "/v1/catalog",
+		"/attacks":   "/v1/catalog",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status = %d", path, resp.StatusCode)
+		}
+		if d := resp.Header.Get("Deprecation"); d != "true" {
+			t.Errorf("%s Deprecation header = %q, want true", path, d)
+		}
+		if l := resp.Header.Get("Link"); !strings.Contains(l, successor) || !strings.Contains(l, "successor-version") {
+			t.Errorf("%s Link header = %q, want successor %s", path, l, successor)
+		}
+	}
+	// The versioned paths are not deprecated.
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("Deprecation") != "" {
+		t.Error("/v1/healthz carries a Deprecation header")
+	}
+}
+
+// TestErrorEnvelope pins the uniform error contract on the /v1 surface:
+// wrong method, unknown path, and invalid specs all answer with
+// {"error":{"code","message"}} — and, the PR's header-ordering fix, a
+// rejectable spec gets a real 400 before any NDJSON header, never a 200
+// that turns into an error record.
+func TestErrorEnvelope(t *testing.T) {
+	ts := newServer(t, serveapi.Config{})
+
+	resp, err := http.Get(ts.URL + "/v1/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/run status = %d, want 405", resp.StatusCode)
+	}
+	if code, _ := decodeEnvelope(t, resp); code != "bad_method" {
+		t.Errorf("GET /v1/run code = %q, want bad_method", code)
+	}
+
+	resp, err = http.Get(ts.URL + "/no/such/path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path status = %d, want 404", resp.StatusCode)
+	}
+	if code, _ := decodeEnvelope(t, resp); code != "not_found" {
+		t.Errorf("unknown path code = %q, want not_found", code)
+	}
+
+	for name, body := range map[string]string{
+		"malformed json": `{"name":`,
+		"unknown scheme": `{"name":"x","kind":"comparison","scale":{"preset":"quick"},"axes":{"schemes":["bogus"],"workloads":["mix-high"]}}`,
+		"trace workload": `{"name":"x","kind":"comparison","scale":{"preset":"quick"},"axes":{"schemes":["mithril"],"workloads":["trace:/etc/passwd"]}}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s status = %d, want 400 before the stream header", name, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s content type = %q, want the JSON envelope (not a committed NDJSON stream)", name, ct)
+		}
+		if code, _ := decodeEnvelope(t, resp); code != "bad_request" {
+			t.Errorf("%s code = %q, want bad_request", name, code)
+		}
+	}
+}
+
+// TestV1RunStream pins the /v1 sweep stream: display rows with grid
+// indices, one terminal summary, and the trailer split.
+func TestV1RunStream(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	ts := newServer(t, serveapi.Config{Jobs: 2})
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(testSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	rows, summaries := 0, 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch {
+		case rec["error"] != nil:
+			t.Fatalf("stream error: %v", rec["error"])
+		case rec["summary"] != nil:
+			summaries++
+		default:
+			rows++
+		}
+	}
+	if rows != 2 || summaries != 1 {
+		t.Fatalf("stream = %d rows, %d summaries; want 2 and 1", rows, summaries)
+	}
+	if s := resp.Trailer.Get("X-Mithril-Rows-Simulated"); s != "2" {
+		t.Errorf("simulated trailer = %q, want 2", s)
+	}
+}
+
+// shardRequest builds a valid wire request for a subset of testSpec.
+func shardRequest(t *testing.T, rows []int) ([]byte, *expspec.Spec, expspec.Scale) {
+	t.Helper()
+	sp, err := expspec.Parse([]byte(testSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sp.Scale.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	specJSON, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(distrib.ShardRequest{
+		Spec:  specJSON,
+		Scale: distrib.ToWire(sc),
+		Rows:  rows,
+		Stamp: expspec.StoreStamp(),
+		Grid:  len(sp.Expand(sc)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body, sp, sc
+}
+
+// TestShardStream pins the worker side of the wire protocol: a shard
+// request streams exactly the requested rows as payload records plus one
+// terminal summary.
+func TestShardStream(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	ts := newServer(t, serveapi.Config{Jobs: 2})
+	body, sp, _ := shardRequest(t, []int{1})
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var dataRows []int
+	summaries := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var rec distrib.ShardRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad shard record %q: %v", sc.Text(), err)
+		}
+		switch {
+		case rec.Error != nil:
+			t.Fatalf("shard error: %v", rec.Error)
+		case rec.Summary != nil:
+			summaries++
+			if rec.Summary.Rows != 1 {
+				t.Errorf("summary rows = %d, want 1", rec.Summary.Rows)
+			}
+		default:
+			dataRows = append(dataRows, rec.Row)
+			var row expspec.Row
+			if !expspec.DecodeRowPayload(sp.Kind, rec.Point, &row) {
+				t.Errorf("row %d payload does not decode for kind %s", rec.Row, sp.Kind)
+			}
+		}
+	}
+	if len(dataRows) != 1 || dataRows[0] != 1 || summaries != 1 {
+		t.Fatalf("shard stream rows = %v, summaries = %d; want exactly row 1 and one summary", dataRows, summaries)
+	}
+}
+
+// TestShardRejections pins the worker's pre-header guards: version
+// drift conflicts, malformed subsets, and shards aimed at a coordinator
+// all fail with real statuses and envelope codes.
+func TestShardRejections(t *testing.T) {
+	ts := newServer(t, serveapi.Config{})
+
+	post := func(body []byte) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	body, _, _ := shardRequest(t, []int{0})
+	var req distrib.ShardRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		t.Fatal(err)
+	}
+
+	stale := req
+	stale.Stamp = "v0:0000"
+	b, _ := json.Marshal(stale)
+	if resp := post(b); resp.StatusCode != http.StatusConflict {
+		t.Errorf("stale stamp status = %d, want 409", resp.StatusCode)
+	} else if code, _ := decodeEnvelope(t, resp); code != "conflict" {
+		t.Errorf("stale stamp code = %q, want conflict", code)
+	}
+
+	drift := req
+	drift.Grid = 99
+	b, _ = json.Marshal(drift)
+	if resp := post(b); resp.StatusCode != http.StatusConflict {
+		t.Errorf("grid drift status = %d, want 409", resp.StatusCode)
+	}
+
+	oob := req
+	oob.Rows = []int{0, 57}
+	b, _ = json.Marshal(oob)
+	if resp := post(b); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("out-of-range subset status = %d, want 400", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+
+	coordTS := newServer(t, serveapi.Config{Coordinator: mustCoordinator(t)})
+	resp, err := http.Post(coordTS.URL+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("shard-to-coordinator status = %d, want 400", resp.StatusCode)
+	}
+	if _, msg := decodeEnvelope(t, resp); !strings.Contains(msg, "coordinator") {
+		t.Errorf("shard-to-coordinator message = %q, want the role explanation", msg)
+	}
+}
+
+func mustCoordinator(t *testing.T) *distrib.Coordinator {
+	t.Helper()
+	c, err := distrib.New([]string{"http://unused:1"}, distrib.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
